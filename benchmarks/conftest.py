@@ -1,0 +1,27 @@
+"""Shared helpers for the figure/table regeneration benchmarks.
+
+Every module here regenerates one table or figure of the paper: it runs the
+simulated experiment under pytest-benchmark (so the harness also reports the
+wall-clock cost of the simulation itself), prints the regenerated rows, and
+asserts the *shape* claims — who wins, by what factor, where the crossovers
+sit — against the paper (absolute tolerances in DESIGN.md §4).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print a regenerated table to the real terminal, bypassing capture."""
+    def emit(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+    return emit
+
+
+def run_once(benchmark, fn):
+    """Run a simulation experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,52 @@
+"""Ablation — the FM packet size, the design constant both generations pin.
+
+FM 1.x used small fixed packets (128 B payload); FM 2.x packets carry up to
+1 KB.  This sweep varies the FM 2.x packet payload and regenerates the
+bandwidth curve: small packets tax large messages with per-packet costs
+(more header PIO, more firmware and DMA startups), huge packets buy little
+once per-packet costs amortise — the knee justifies the shipped constant.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.bench.microbench import fm_stream
+from repro.bench.report import curve_table
+from repro.bench.sweeps import SweepResult
+from repro.cluster import Cluster
+from repro.configs import PPRO_FM2
+from repro.core.common import FmParams
+
+PACKET_SIZES = (128, 256, 1024, 4096)
+MSG_SIZES = (64, 1024, 8192)
+
+
+def measure(packet_payload: int, msg_bytes: int) -> float:
+    params = FmParams(packet_payload=packet_payload, credits_per_peer=16,
+                      credit_batch=8)
+    cluster = Cluster(2, machine=PPRO_FM2, fm_version=2, fm_params=params)
+    return fm_stream(cluster, msg_bytes, n_messages=30).bandwidth_mbs
+
+
+def test_ablation_packet_size(benchmark, show):
+    def regenerate():
+        return {
+            packet: [measure(packet, size) for size in MSG_SIZES]
+            for packet in PACKET_SIZES
+        }
+
+    results = run_once(benchmark, regenerate)
+    sweeps = [SweepResult(f"{packet} B packets", list(MSG_SIZES), values)
+              for packet, values in results.items()]
+    show(curve_table("Ablation — FM 2.x bandwidth vs packet payload size",
+                     sweeps))
+
+    at_8k = {packet: values[2] for packet, values in results.items()}
+    at_64 = {packet: values[0] for packet, values in results.items()}
+    # Small packets cripple large messages (per-packet costs dominate).
+    assert at_8k[128] < 0.55 * at_8k[1024]
+    # Going beyond 1 KB buys little: the knee is where FM 2.x ships.
+    assert at_8k[4096] < 1.25 * at_8k[1024]
+    # Packet size barely matters below one packet's worth of payload.
+    values_64 = list(at_64.values())
+    assert max(values_64) / min(values_64) < 1.3

@@ -1,0 +1,59 @@
+"""Figure 3: FM 1.x on the Sparc/SBus/Myrinet testbed.
+
+(a) overhead breakdown — bandwidth with (1) link management only,
+    (2) + I/O bus crossing, (3) + flow control (= full FM 1.x);
+(b) overall FM 1.x performance — the paper's headline: 17.6 MB/s peak,
+    14 µs latency, N-half = 54 bytes.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.bench.breakdown import breakdown_sweep
+from repro.bench.microbench import fm_pingpong_latency_us
+from repro.bench.nhalf import n_half
+from repro.bench.report import HeadlineRow, curve_table, headline_table
+from repro.bench.sweeps import FIG3_SIZES, bandwidth_sweep
+from repro.cluster import Cluster
+from repro.configs import SPARC_FM1
+
+
+def test_fig3a_overhead_breakdown(benchmark, show):
+    def regenerate():
+        return breakdown_sweep(SPARC_FM1, FIG3_SIZES, n_messages=40)
+
+    link, bus, flow = run_once(benchmark, regenerate)
+    show(curve_table("Figure 3(a) — FM 1.x overhead breakdown",
+                     [link, bus, flow]))
+
+    # Shape claims: the bus crossing costs most of the link bandwidth
+    # (paper: ~60 -> ~20 MB/s at 512 B); flow control, properly designed,
+    # costs little on top (§3.1: "these guarantees need not be costly").
+    assert link.at(512) > 3 * bus.at(512)
+    assert flow.at(512) > 0.85 * bus.at(512)
+    # Each curve rises with message size.
+    for sweep in (link, bus, flow):
+        assert sweep.bandwidths_mbs == sorted(sweep.bandwidths_mbs)
+
+
+def test_fig3b_fm1_overall(benchmark, show):
+    def regenerate():
+        sweep = bandwidth_sweep(SPARC_FM1, 1, FIG3_SIZES, n_messages=40,
+                                label="FM 1.x")
+        latency = fm_pingpong_latency_us(Cluster(2, SPARC_FM1, 1), 16,
+                                         iterations=15)
+        return sweep, latency
+
+    sweep, latency = run_once(benchmark, regenerate)
+    measured_nhalf = n_half(sweep.sizes, sweep.bandwidths_mbs)
+    show(curve_table("Figure 3(b) — FM 1.x overall performance", [sweep]))
+    show(headline_table("FM 1.x headline metrics", [
+        HeadlineRow("one-way latency (16 B)", "14 us", f"{latency:.1f} us"),
+        HeadlineRow("peak bandwidth", "17.6 MB/s",
+                    f"{sweep.peak_mbs:.1f} MB/s"),
+        HeadlineRow("N-half", "54 B", f"{measured_nhalf:.0f} B"),
+    ]))
+
+    assert latency == pytest.approx(14.0, rel=0.15)
+    assert sweep.peak_mbs == pytest.approx(17.6, rel=0.15)
+    assert measured_nhalf == pytest.approx(54, rel=0.30)

@@ -1,0 +1,46 @@
+"""Figure 4: the initial MPI-FM over FM 1.x — the failure that motivated
+FM 2.x.  (a) absolute bandwidth vs raw FM 1.x; (b) efficiency (% of FM).
+
+Paper claims reproduced: MPI-FM 1.x "fail[s] to deliver more than 35% of
+the underlying FM bandwidth" (abstract: "only about 20%"), because of the
+interface copies (send assembly; staging -> pool -> user on receive) and
+the lack of receiver pacing (pool overruns force spill copies).
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.bench.mpibench import mpi_stream
+from repro.bench.report import curve_table, efficiency_table
+from repro.bench.sweeps import FIG456_SIZES, SweepResult, bandwidth_sweep
+from repro.cluster import Cluster
+from repro.configs import SPARC_FM1
+
+
+def test_fig4_mpi_fm1_efficiency(benchmark, show):
+    def regenerate():
+        fm = bandwidth_sweep(SPARC_FM1, 1, FIG456_SIZES, n_messages=40,
+                             label="FM 1.x")
+        mpi_bandwidths = []
+        for size in FIG456_SIZES:
+            cluster = Cluster(2, SPARC_FM1, 1)
+            mpi_bandwidths.append(
+                mpi_stream(cluster, size, n_messages=30).bandwidth_mbs)
+        mpi = SweepResult("MPI-FM 1.x", list(FIG456_SIZES), mpi_bandwidths)
+        return fm, mpi
+
+    fm, mpi = run_once(benchmark, regenerate)
+    show(curve_table("Figure 4(a) — MPI-FM 1.x vs FM 1.x (absolute)",
+                     [fm, mpi]))
+    show(efficiency_table("Figure 4(b) — MPI-FM 1.x efficiency", mpi, fm))
+
+    efficiencies = [m / f for m, f in zip(mpi.bandwidths_mbs, fm.bandwidths_mbs)]
+    # The paper's bands: never above ~35-45%, around 20% for short messages.
+    assert max(efficiencies) < 0.45
+    assert 0.15 <= efficiencies[0] <= 0.35
+    # MPI-FM 1.x peak bandwidth is a small multiple of megabytes/second.
+    assert mpi.peak_mbs < 8.0
+    # Efficiency improves somewhat with size (as in the figure) ...
+    assert efficiencies[-1] > efficiencies[0]
+    # ... but the interface tax never comes close to being amortised.
+    assert efficiencies[-1] < 0.5

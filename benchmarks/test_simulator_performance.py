@@ -1,0 +1,69 @@
+"""Meta-benchmark: the simulator's own speed (events/sec, packets/sec).
+
+Unlike the figure benchmarks (one deterministic simulation run each),
+these use pytest-benchmark's statistical machinery properly — multiple
+rounds of the same deterministic workload — to track the *wall-clock*
+cost of simulating, which bounds how large an experiment the library can
+host.  Regressions here make every other benchmark slower.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.bench.microbench import fm_stream
+from repro.cluster import Cluster
+from repro.configs import PPRO_FM2
+from repro.simkernel import Environment, Store
+
+
+def kernel_workload():
+    """A pure-kernel churn: producer/consumer chains, ~30k events."""
+    env = Environment()
+    stores = [Store(env, capacity=4) for _ in range(4)]
+
+    def producer(env):
+        for i in range(1000):
+            yield env.timeout(5)
+            yield stores[0].put(i)
+
+    def relay(env, src, dst):
+        while True:
+            item = yield src.get()
+            yield env.timeout(3)
+            yield dst.put(item)
+
+    def consumer(env):
+        for _ in range(1000):
+            yield stores[-1].get()
+
+    env.process(producer(env))
+    for index in range(len(stores) - 1):
+        env.process(relay(env, stores[index], stores[index + 1]))
+    done = env.process(consumer(env))
+    env.run(until=done)
+    return env.now
+
+
+def stack_workload():
+    """A full-stack churn: 60 x 1 KB messages through FM 2.x."""
+    cluster = Cluster(2, machine=PPRO_FM2, fm_version=2)
+    return fm_stream(cluster, 1024, n_messages=60).bandwidth_mbs
+
+
+def test_simkernel_event_throughput(benchmark):
+    result = benchmark.pedantic(kernel_workload, rounds=5, iterations=1,
+                                warmup_rounds=1)
+    assert result > 0   # simulated time advanced
+
+    # The kernel must stay fast enough that figure sweeps are interactive:
+    # this ~30k-event workload should run well under a second.
+    assert benchmark.stats.stats.mean < 1.0
+
+
+def test_full_stack_simulation_throughput(benchmark):
+    bandwidth = benchmark.pedantic(stack_workload, rounds=3, iterations=1,
+                                   warmup_rounds=1)
+    assert bandwidth == pytest.approx(65, rel=0.2)
+    # One bandwidth point (60 messages, ~180 packets, full protocol) should
+    # simulate in well under two seconds.
+    assert benchmark.stats.stats.mean < 2.0

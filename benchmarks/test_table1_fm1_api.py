@@ -1,0 +1,67 @@
+"""Table 1: the FM 1.1 API — conformance plus a per-primitive cost table.
+
+The paper's table lists exactly three primitives; this benchmark exercises
+each through the simulated stack and reports its host-CPU cost, which is
+the quantity the paper's whole overhead argument is about.
+"""
+
+import pytest
+
+from conftest import run_once
+from repro.bench.report import HeadlineRow, headline_table
+from repro.cluster import Cluster
+from repro.configs import SPARC_FM1
+from repro.core.fm1.api import SEND4_BYTES
+
+
+def test_table1_fm1_primitives(benchmark, show):
+    def exercise():
+        cluster = Cluster(2, SPARC_FM1, 1)
+        node0, node1 = cluster.node(0), cluster.node(1)
+        log = []
+
+        def handler(fm, src, staging, nbytes):
+            log.append(nbytes)
+            return
+            yield  # pragma: no cover
+
+        hid = {n.fm.register_handler(handler) for n in cluster.nodes}.pop()
+        costs = {}
+
+        def sender(node):
+            buf = node.buffer(256, fill=bytes(256))
+            start = node.cpu.busy_ns
+            yield from node.fm.send_4(1, hid, buf.read(0, SEND4_BYTES))
+            costs["FM_send_4"] = node.cpu.busy_ns - start
+            start = node.cpu.busy_ns
+            yield from node.fm.send(1, hid, buf, 256)
+            costs["FM_send (256 B)"] = node.cpu.busy_ns - start
+
+        def receiver(node):
+            while len(log) < 2:
+                got = yield from node.fm.extract()
+                if not got:
+                    yield node.env.timeout(500)
+            start = node.cpu.busy_ns
+            yield from node.fm.extract()
+            costs["FM_extract (idle)"] = node.cpu.busy_ns - start
+
+        cluster.run([sender, receiver])
+        return cluster, log, costs
+
+    cluster, log, costs = run_once(benchmark, exercise)
+    show(headline_table("Table 1 — FM 1.1 primitives (simulated host-CPU cost)", [
+        HeadlineRow(name, "-", f"{cost / 1000:.2f} us")
+        for name, cost in costs.items()
+    ]))
+
+    # Conformance: exactly the three Table 1 primitives exist and work.
+    fm = cluster.node(0).fm
+    for primitive in ("send", "send_4", "extract"):
+        assert callable(getattr(fm, primitive))
+    assert not hasattr(fm, "begin_message")       # 2.x only
+    assert sorted(log) == [SEND4_BYTES, 256]
+    # The short-message fast path is cheaper than the general send.
+    assert costs["FM_send_4"] < costs["FM_send (256 B)"]
+    # An idle extract is a cheap poll, per the paper's polling design.
+    assert costs["FM_extract (idle)"] < 2_000

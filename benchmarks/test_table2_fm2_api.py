@@ -1,0 +1,81 @@
+"""Table 2: the FM 2.x API — conformance plus per-primitive cost table.
+
+Exercises all five primitives of the paper's Table 2 (begin / send_piece /
+end on the sender; receive inside a handler; extract with a byte budget)
+through the simulated stack, including the §4.1 worked example: a handler
+that reads a header piece, inspects it, then steers the payload.
+"""
+
+import struct
+
+import pytest
+
+from conftest import run_once
+from repro.bench.report import HeadlineRow, headline_table
+from repro.cluster import Cluster
+from repro.configs import PPRO_FM2
+
+
+def test_table2_fm2_primitives(benchmark, show):
+    def exercise():
+        cluster = Cluster(2, PPRO_FM2, 2)
+        delivered = []
+        costs = {}
+
+        # The paper's §4.1 example handler: receive the header, decide,
+        # then receive the payload into the chosen destination.
+        def handler(fm, stream, src):
+            header = yield from stream.receive_bytes(8)
+            length, little = struct.unpack("<ii", header)
+            dest = fm._example_small if little else fm._example_big
+            yield from stream.receive(dest, 0, length)
+            delivered.append((little, dest.read(0, length)))
+
+        hid = {n.fm.register_handler(handler) for n in cluster.nodes}.pop()
+
+        def sender(node):
+            payload = bytes(range(200))
+            buf = node.buffer(8 + 200)
+            buf.write(struct.pack("<ii", 200, 0))
+            buf.write(payload, 8)
+            start = node.cpu.busy_ns
+            stream = yield from node.fm.begin_message(1, 208, hid)
+            costs["FM_begin_message"] = node.cpu.busy_ns - start
+            start = node.cpu.busy_ns
+            yield from node.fm.send_piece(stream, buf, 0, 8)
+            costs["FM_send_piece (8 B)"] = node.cpu.busy_ns - start
+            start = node.cpu.busy_ns
+            yield from node.fm.send_piece(stream, buf, 8, 200)
+            costs["FM_send_piece (200 B)"] = node.cpu.busy_ns - start
+            start = node.cpu.busy_ns
+            yield from node.fm.end_message(stream)
+            costs["FM_end_message"] = node.cpu.busy_ns - start
+
+        def receiver(node):
+            node.fm._example_small = node.buffer(64, name="littlebuf")
+            node.fm._example_big = node.buffer(4096, name="bigbuf")
+            start = node.cpu.busy_ns
+            while not delivered:
+                got = yield from node.fm.extract(max_bytes=4096)
+                if not got:
+                    yield node.env.timeout(500)
+            costs["FM_extract+FM_receive"] = node.cpu.busy_ns - start
+
+        cluster.run([sender, receiver])
+        return cluster, delivered, costs
+
+    cluster, delivered, costs = run_once(benchmark, exercise)
+    show(headline_table("Table 2 — FM 2.x primitives (simulated host-CPU cost)", [
+        HeadlineRow(name, "-", f"{cost / 1000:.2f} us")
+        for name, cost in costs.items()
+    ]))
+
+    fm = cluster.node(0).fm
+    for primitive in ("begin_message", "send_piece", "end_message", "extract"):
+        assert callable(getattr(fm, primitive))
+    assert not hasattr(fm, "send_4")              # 1.x only
+    little, payload = delivered[0]
+    assert little == 0
+    assert payload == bytes(range(200))
+    # Piece cost scales with bytes moved (PIO), with a small fixed part.
+    assert costs["FM_send_piece (200 B)"] > costs["FM_send_piece (8 B)"]

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""The anatomy of a microsecond: where FM's latency and bandwidth go.
+
+A guided tour of the analysis tools: the per-stage journey of one 16-byte
+message on both FM generations (waypoint-instrumented packets), the
+component-utilisation profile of a bandwidth stream, and the first-order
+analytic model's predictions next to the simulated measurements — the
+workflow a performance engineer would use on this library.
+
+Run:  python examples/latency_anatomy.py
+"""
+
+from repro.bench.calibration import (
+    predicted_bandwidth_mbs,
+    predicted_latency_us,
+)
+from repro.bench.journey import packet_journey
+from repro.bench.microbench import fm_pingpong_latency_us, fm_stream_bandwidth_mbs
+from repro.bench.utilization import fm_stream_utilization
+from repro.cluster import Cluster
+from repro.cluster.cluster import default_fm_params
+from repro.configs import PPRO_FM2, SPARC_FM1
+
+
+def main() -> None:
+    for label, machine, version, paper_lat, paper_bw in (
+        ("FM 1.x on Sparc/SBus", SPARC_FM1, 1, 14.0, 17.6),
+        ("FM 2.x on PPro/PCI", PPRO_FM2, 2, 11.0, 77.0),
+    ):
+        print(f"=== {label} ===\n")
+
+        journey = packet_journey(machine, version, msg_bytes=16)
+        print("one 16-byte message, stage by stage:")
+        print(journey.render())
+        print(f"slowest stage: {journey.longest_stage()}\n")
+
+        latency = fm_pingpong_latency_us(Cluster(2, machine, version), 16,
+                                         iterations=10)
+        bandwidth = fm_stream_bandwidth_mbs(Cluster(2, machine, version),
+                                            2048, n_messages=40)
+        params = default_fm_params(version)
+        print(f"ping-pong latency : {latency:6.2f} us   "
+              f"(paper {paper_lat}, model "
+              f"{predicted_latency_us(machine, params):.2f})")
+        print(f"bandwidth @ 2 KB  : {bandwidth:6.2f} MB/s "
+              f"(paper {paper_bw}, model "
+              f"{predicted_bandwidth_mbs(machine, params, 2048):.2f})\n")
+
+        util = fm_stream_utilization(machine, version, 2048, n_messages=40)
+        print("streaming at 2 KB, who is busy:")
+        for metric, value in util.rows():
+            print(f"  {metric:<26} {value}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

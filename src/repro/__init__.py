@@ -1,0 +1,42 @@
+"""repro — a reproduction of "Efficient Layering for High Speed
+Communication: Fast Messages 2.x" (Lauria, Pakin, Chien; HPDC-7, 1998).
+
+The package implements both generations of the Fast Messages user-level
+messaging layer as real protocols over a deterministic discrete-event
+simulation of the paper's hardware (Myrinet-style fabric, LANai-style NICs,
+SBus/PCI hosts), plus the higher-level APIs the paper layers on top (MPI,
+sockets, Shmem, Global Arrays) and a benchmark harness that regenerates
+every figure of the evaluation.
+
+Quickstart::
+
+    from repro import Cluster, PPRO_FM2
+
+    cluster = Cluster(n_nodes=2, machine=PPRO_FM2, fm_version=2)
+    # ... register handlers, run programs; see examples/quickstart.py
+
+Layer map (bottom-up): :mod:`repro.simkernel` -> :mod:`repro.hardware` ->
+:mod:`repro.core` (FM 1.x / 2.x) -> :mod:`repro.upper` (MPI, sockets,
+shmem, GA), with :mod:`repro.bench` measuring and :mod:`repro.configs`
+holding the calibrated machines.
+"""
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import Node
+from repro.configs import PPRO_FM2, SPARC_FM1
+from repro.core import FM1, FM2, FmParams
+from repro.hardware.memory import Buffer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Buffer",
+    "Cluster",
+    "FM1",
+    "FM2",
+    "FmParams",
+    "Node",
+    "PPRO_FM2",
+    "SPARC_FM1",
+    "__version__",
+]

@@ -1,0 +1,91 @@
+"""First-order analytic predictions behind the config calibration.
+
+The simulator's measured curves emerge from the pipelined interaction of
+many components; these closed-form predictions (DESIGN.md §4) were used to
+pick initial parameter values and are kept as a sanity check: tests assert
+the *simulated* measurements stay within a small factor of the *analytic*
+bottleneck model, which guards against accidental config drift.
+
+The streaming model: bandwidth = message size / (the slowest pipeline
+stage's per-message time).  Stages: sender CPU+PIO, NIC tx firmware, wire,
+NIC rx firmware + DMA, receiver CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.params import MachineParams
+
+from repro.core.common import FmParams
+from repro.hardware.packet import HEADER_BYTES
+
+
+@dataclass
+class StageTimes:
+    """Per-message nanoseconds in each pipeline stage."""
+
+    sender_cpu: float
+    nic_tx: float
+    wire: float
+    nic_rx: float
+    receiver_cpu: float
+
+    @property
+    def bottleneck(self) -> float:
+        return max(self.sender_cpu, self.nic_tx, self.wire, self.nic_rx,
+                   self.receiver_cpu)
+
+    @property
+    def latency_ns(self) -> float:
+        """One-way latency ~ the sum of the stages (plus routing, ignored)."""
+        return (self.sender_cpu + self.nic_tx + self.wire + self.nic_rx
+                + self.receiver_cpu)
+
+
+def fm_stage_times(machine: MachineParams, fm: FmParams, msg_bytes: int,
+                   receive_copy: bool = True) -> StageTimes:
+    """First-order per-message stage times for a raw FM stream."""
+    cpu, bus, nic, link = machine.cpu, machine.bus, machine.nic, machine.link
+    n_pkts = fm.packets_for(msg_bytes)
+    wire_bytes = msg_bytes + n_pkts * HEADER_BYTES
+
+    sender = (cpu.per_message_ns
+              + n_pkts * (cpu.per_packet_ns + bus.pio_startup_ns)
+              + wire_bytes * 1e9 / bus.pio_bw)
+    nic_tx = n_pkts * nic.firmware_send_ns
+    wire = wire_bytes * 1e9 / link.bandwidth + link.propagation_ns
+    nic_rx = (n_pkts * (nic.firmware_recv_ns + bus.dma_startup_ns)
+              + wire_bytes * 1e9 / bus.dma_bw)
+    receiver = (cpu.poll_ns + cpu.call_ns
+                + n_pkts * cpu.per_packet_ns)
+    if receive_copy:
+        receiver += cpu.memcpy_startup_ns + msg_bytes * 1e9 / cpu.memcpy_bw
+    return StageTimes(sender, nic_tx, wire, nic_rx, receiver)
+
+
+def predicted_bandwidth_mbs(machine: MachineParams, fm: FmParams,
+                            msg_bytes: int, receive_copy: bool = True) -> float:
+    """Predicted streaming bandwidth (MB/s) from the bottleneck stage."""
+    stages = fm_stage_times(machine, fm, msg_bytes, receive_copy)
+    return msg_bytes / stages.bottleneck * 1e3   # B/ns -> MB/s
+
+def predicted_latency_us(machine: MachineParams, fm: FmParams,
+                         msg_bytes: int = 16) -> float:
+    """Predicted one-way latency (µs) as the stage-sum plus switch routing."""
+    stages = fm_stage_times(machine, fm, msg_bytes)
+    return (stages.latency_ns + machine.switch.routing_ns) / 1e3
+
+
+def predicted_n_half_bytes(machine: MachineParams, fm: FmParams,
+                           peak_at: int = 2048) -> float:
+    """Predicted N-half: solve BW(S) = BW(peak_at)/2 by bisection."""
+    target = predicted_bandwidth_mbs(machine, fm, peak_at) / 2
+    lo, hi = 1, peak_at
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if predicted_bandwidth_mbs(machine, fm, mid) < target:
+            lo = mid
+        else:
+            hi = mid
+    return float(hi)

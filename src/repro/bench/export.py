@@ -1,0 +1,122 @@
+"""CSV export of regenerated figure data.
+
+``python -m repro.bench.regen`` prints tables; this module writes the same
+series as CSV files so they can be plotted or diffed externally:
+
+    from repro.bench.export import export_figure_csv
+    export_figure_csv("fig5", "out/")          # -> out/fig5.csv
+
+Columns are ``size_bytes`` plus one column per series, matching the
+paper's axes.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Sequence
+
+from repro.bench.sweeps import SweepResult
+
+
+def sweeps_to_csv(sweeps: Sequence[SweepResult]) -> str:
+    """Render aligned sweeps as CSV text (header + one row per size)."""
+    if not sweeps:
+        raise ValueError("need at least one sweep")
+    sizes = sweeps[0].sizes
+    for sweep in sweeps[1:]:
+        if sweep.sizes != sizes:
+            raise ValueError("sweeps cover different sizes")
+    out = io.StringIO()
+    writer = csv.writer(out)
+    writer.writerow(["size_bytes"] + [sweep.label for sweep in sweeps])
+    for index, size in enumerate(sizes):
+        writer.writerow([size] + [f"{sweep.bandwidths_mbs[index]:.4f}"
+                                  for sweep in sweeps])
+    return out.getvalue()
+
+
+def _fig1_sweeps() -> list[SweepResult]:
+    from repro.legacy import (ETHERNET_100MBIT, ETHERNET_1GBIT,
+                              theoretical_bandwidth_mbs)
+    sizes = [8, 16, 32, 64, 128, 256, 512, 1024]
+    return [
+        SweepResult("100Mbit", sizes,
+                    [theoretical_bandwidth_mbs(s, ETHERNET_100MBIT)
+                     for s in sizes]),
+        SweepResult("1Gbit", sizes,
+                    [theoretical_bandwidth_mbs(s, ETHERNET_1GBIT)
+                     for s in sizes]),
+    ]
+
+
+def _fig3a_sweeps() -> list[SweepResult]:
+    from repro.bench.breakdown import breakdown_sweep
+    from repro.bench.sweeps import FIG3_SIZES
+    from repro.configs import SPARC_FM1
+    return breakdown_sweep(SPARC_FM1, FIG3_SIZES, n_messages=40)
+
+
+def _fig3b_sweeps() -> list[SweepResult]:
+    from repro.bench.sweeps import FIG3_SIZES, bandwidth_sweep
+    from repro.configs import SPARC_FM1
+    return [bandwidth_sweep(SPARC_FM1, 1, FIG3_SIZES, n_messages=40,
+                            label="FM1")]
+
+
+def _mpi_pair(machine, version: int, fm_label: str, mpi_label: str):
+    from repro.bench.mpibench import mpi_stream
+    from repro.bench.sweeps import FIG456_SIZES, bandwidth_sweep
+    from repro.cluster import Cluster
+    fm = bandwidth_sweep(machine, version, FIG456_SIZES, n_messages=40,
+                         label=fm_label)
+    mpi = SweepResult(mpi_label, list(FIG456_SIZES), [
+        mpi_stream(Cluster(2, machine, version), size, 30).bandwidth_mbs
+        for size in FIG456_SIZES])
+    return [fm, mpi]
+
+
+def _fig4_sweeps() -> list[SweepResult]:
+    from repro.configs import SPARC_FM1
+    return _mpi_pair(SPARC_FM1, 1, "FM1", "MPI-FM1")
+
+
+def _fig5_sweeps() -> list[SweepResult]:
+    from repro.bench.sweeps import FIG456_SIZES, bandwidth_sweep
+    from repro.configs import PPRO_FM2
+    return [bandwidth_sweep(PPRO_FM2, 2, FIG456_SIZES, n_messages=40,
+                            label="FM2")]
+
+
+def _fig6_sweeps() -> list[SweepResult]:
+    from repro.configs import PPRO_FM2
+    return _mpi_pair(PPRO_FM2, 2, "FM2", "MPI-FM2")
+
+
+FIGURE_SERIES = {
+    "fig1": _fig1_sweeps,
+    "fig3a": _fig3a_sweeps,
+    "fig3b": _fig3b_sweeps,
+    "fig4": _fig4_sweeps,
+    "fig5": _fig5_sweeps,
+    "fig6": _fig6_sweeps,
+}
+
+
+def export_figure_csv(name: str, directory: str | Path) -> Path:
+    """Regenerate one figure's series and write ``<directory>/<name>.csv``."""
+    if name not in FIGURE_SERIES:
+        raise ValueError(
+            f"unknown figure {name!r}; choices: {sorted(FIGURE_SERIES)}"
+        )
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.csv"
+    path.write_text(sweeps_to_csv(FIGURE_SERIES[name]()))
+    return path
+
+
+def export_all(directory: str | Path) -> list[Path]:
+    """Export every curve figure as CSV; returns the written paths."""
+    return [export_figure_csv(name, directory) for name in FIGURE_SERIES]

@@ -1,0 +1,174 @@
+"""Raw-FM microbenchmarks: ping-pong latency and streaming bandwidth.
+
+These are the tests behind Figure 3(b) and Figure 5 and the FM curves of
+Figures 4 and 6.  Conventions follow the paper's community practice:
+
+* **latency** — one-way short-message latency = half the round-trip of a
+  ping-pong, averaged over iterations after a warm-up;
+* **bandwidth** — a unidirectional stream of back-to-back messages of one
+  size; bandwidth = payload bytes delivered to handlers / simulated time
+  from the first send to the last handler completion, reported in the
+  paper's MB/s (10^6 bytes/second).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.simkernel.units import MICROSECOND
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.node import Node
+from repro.core.fm1.api import FM1
+from repro.core.fm2.api import FM2
+
+#: Poll backoff used by benchmark receive loops when nothing is pending.
+IDLE_POLL_NS = 200
+
+
+@dataclass
+class PingPongResult:
+    one_way_latency_us: float
+    round_trips: int
+
+
+@dataclass
+class StreamResult:
+    bandwidth_mbs: float
+    msg_bytes: int
+    n_messages: int
+    elapsed_ns: int
+
+
+def _register_on_all(cluster: Cluster, handler) -> int:
+    """Register the same handler on every node (SPMD convention)."""
+    ids = {node.fm.register_handler(handler) for node in cluster.nodes}
+    if len(ids) != 1:
+        raise RuntimeError("handler tables out of sync across nodes")
+    return ids.pop()
+
+
+# -- ping-pong -------------------------------------------------------------------
+
+def fm_pingpong(cluster: Cluster, msg_bytes: int = 16, iterations: int = 30,
+                warmup: int = 3) -> PingPongResult:
+    """Round-trip ping-pong between nodes 0 and 1 on raw FM."""
+    fm_version = cluster.fm_version
+    arrived = [0] * cluster.n_nodes   # messages received per node
+
+    if fm_version == 1:
+        def handler(fm, src, staging, nbytes):
+            arrived[fm.node_id] += 1
+            return
+            yield  # pragma: no cover - generator marker
+    else:
+        def handler(fm, stream, src):
+            yield from stream.receive_bytes(stream.msg_bytes)
+            arrived[stream.fm.node_id] += 1
+
+    hid = _register_on_all(cluster, handler)
+    total = warmup + iterations
+    timestamps: list[int] = []
+
+    def make_program(me: int, peer: int, starts: bool):
+        def program(node: Node):
+            fm = node.fm
+            buf = node.buffer(msg_bytes, fill=bytes(msg_bytes))
+            count = 0
+            if starts:
+                timestamps.append(node.env.now)
+                yield from _fm_send(fm, peer, hid, buf, msg_bytes)
+            while count < total:
+                before = arrived[me]
+                yield from fm.extract()
+                if arrived[me] == before:
+                    yield node.env.timeout(IDLE_POLL_NS)
+                    continue
+                count += arrived[me] - before
+                if starts:
+                    timestamps.append(node.env.now)
+                if count < total or not starts:
+                    yield from _fm_send(fm, peer, hid, buf, msg_bytes)
+        return program
+
+    cluster.run([make_program(0, 1, True), make_program(1, 0, False)])
+    # timestamps[k] -> timestamps[k+1] is one round trip.
+    rtts = [timestamps[i + 1] - timestamps[i] for i in range(len(timestamps) - 1)]
+    rtts = rtts[warmup:]
+    one_way = sum(rtts) / len(rtts) / 2.0
+    return PingPongResult(one_way_latency_us=one_way / MICROSECOND,
+                          round_trips=len(rtts))
+
+
+def _fm_send(fm, dest: int, hid: int, buf, nbytes: int):
+    if isinstance(fm, FM1):
+        yield from fm.send(dest, hid, buf, nbytes)
+    elif isinstance(fm, FM2):
+        yield from fm.send_buffer(dest, hid, buf, nbytes)
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"unknown FM endpoint {fm!r}")
+
+
+def fm_pingpong_latency_us(cluster: Cluster, msg_bytes: int = 16,
+                           iterations: int = 30) -> float:
+    """One-way latency in microseconds (the paper's headline metric)."""
+    return fm_pingpong(cluster, msg_bytes, iterations).one_way_latency_us
+
+
+# -- streaming bandwidth --------------------------------------------------------------
+
+def fm_stream(cluster: Cluster, msg_bytes: int, n_messages: int = 60,
+              extract_budget: Optional[int] = None) -> StreamResult:
+    """Unidirectional stream of ``n_messages`` messages node 0 -> node 1."""
+    fm_version = cluster.fm_version
+    done_count = [0]
+    done_at = [0]
+
+    if fm_version == 1:
+        def handler(fm, src, staging, nbytes):
+            done_count[0] += 1
+            done_at[0] = fm.env.now
+            return
+            yield  # pragma: no cover - generator marker
+    else:
+        def handler(fm, stream, src):
+            sink = stream.fm._bench_sink
+            yield from stream.receive(sink, 0, stream.msg_bytes)
+            done_count[0] += 1
+            done_at[0] = stream.fm.env.now
+
+    hid = _register_on_all(cluster, handler)
+    start_at = [0]
+
+    def sender(node: Node):
+        buf = node.buffer(msg_bytes, fill=bytes(i % 251 for i in range(msg_bytes)))
+        start_at[0] = node.env.now
+        for _ in range(n_messages):
+            yield from _fm_send(node.fm, 1, hid, buf, msg_bytes)
+
+    def receiver(node: Node):
+        # FM 2.x handlers deliver into a reusable sink buffer, mirroring the
+        # paper's bandwidth test (FM_receive into a buffer).
+        node.fm._bench_sink = node.buffer(max(msg_bytes, 1), name="bench_sink")
+        while done_count[0] < n_messages:
+            if fm_version == 2:
+                got = yield from node.fm.extract(extract_budget)
+            else:
+                got = yield from node.fm.extract()
+            if not got:
+                yield node.env.timeout(IDLE_POLL_NS)
+
+    cluster.run([sender, receiver])
+    elapsed = done_at[0] - start_at[0]
+    if elapsed <= 0:
+        raise RuntimeError("bandwidth measurement produced non-positive time")
+    bandwidth = msg_bytes * n_messages / (elapsed / 1e9)  # bytes/sec
+    return StreamResult(bandwidth_mbs=bandwidth / 1e6, msg_bytes=msg_bytes,
+                        n_messages=n_messages, elapsed_ns=elapsed)
+
+
+def fm_stream_bandwidth_mbs(cluster: Cluster, msg_bytes: int,
+                            n_messages: int = 60) -> float:
+    """Streaming bandwidth in MB/s (10^6 bytes/s, as the paper reports)."""
+    return fm_stream(cluster, msg_bytes, n_messages).bandwidth_mbs

@@ -1,0 +1,39 @@
+"""The half-power point N-half: the message size delivering half of peak.
+
+The paper's headline short-message metric: FM 1.0 reduced Myrinet's N-half
+from over four thousand bytes to 54 bytes.  Estimated from a bandwidth
+curve by log-linear interpolation between the two sizes bracketing half of
+the curve's peak.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def n_half(sizes: Sequence[int], bandwidths: Sequence[float]) -> float:
+    """Message size (bytes) at which bandwidth first reaches half its peak.
+
+    ``sizes`` must be increasing; ``bandwidths`` are the matching values.
+    Interpolates linearly in log2(size).  Returns ``sizes[0]`` if even the
+    smallest size exceeds half power (N-half below measurement range).
+    """
+    if len(sizes) != len(bandwidths):
+        raise ValueError("sizes and bandwidths must have equal length")
+    if len(sizes) < 2:
+        raise ValueError("need at least two points")
+    if any(b < 0 for b in bandwidths):
+        raise ValueError("bandwidths must be non-negative")
+    if any(s2 <= s1 for s1, s2 in zip(sizes, sizes[1:])):
+        raise ValueError("sizes must be strictly increasing")
+    half = max(bandwidths) / 2.0
+    if bandwidths[0] >= half:
+        return float(sizes[0])
+    for i in range(1, len(sizes)):
+        if bandwidths[i] >= half:
+            lo_s, hi_s = math.log2(sizes[i - 1]), math.log2(sizes[i])
+            lo_b, hi_b = bandwidths[i - 1], bandwidths[i]
+            frac = (half - lo_b) / (hi_b - lo_b)
+            return float(2 ** (lo_s + frac * (hi_s - lo_s)))
+    raise ValueError("bandwidth curve never reaches half of its own peak")

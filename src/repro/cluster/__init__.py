@@ -1,0 +1,22 @@
+"""Cluster assembly: hosts + fabric + an FM endpoint per node.
+
+:class:`~repro.cluster.node.Node` bundles one host's CPU, bus and NIC;
+:class:`~repro.cluster.cluster.Cluster` builds N nodes on a topology,
+starts the hardware, and runs user *programs* (generator functions) to
+completion.  This is the entry point used by examples and benchmarks::
+
+    cluster = Cluster(n_nodes=2, machine=PPRO_FM2, fm_version=2)
+
+    def sender(node):
+        yield from node.fm.send_buffer(1, handler_id, buf, len(buf))
+
+    def receiver(node):
+        ...
+
+    cluster.run([sender, receiver])
+"""
+
+from repro.cluster.node import Node
+from repro.cluster.cluster import Cluster
+
+__all__ = ["Cluster", "Node"]

@@ -1,0 +1,53 @@
+"""One cluster node: CPU + memory + I/O bus + NIC + an FM endpoint."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Union
+
+from repro.hardware.bus import IoBus
+from repro.hardware.cpu import HostCpu
+from repro.hardware.memory import Buffer
+from repro.hardware.nic import Nic
+from repro.hardware.params import MachineParams
+
+from repro.core.common import FmParams
+from repro.core.fm1.api import FM1
+from repro.core.fm2.api import FM2
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.env import Environment
+    from repro.hardware.fabric import Fabric
+
+
+class Node:
+    """A host: hardware components plus its Fast Messages endpoint.
+
+    The FM endpoint is attached by the cluster after the fabric exists
+    (:meth:`bind_fm`); everything else is built in the constructor.
+    """
+
+    def __init__(self, env: "Environment", node_id: int, machine: MachineParams):
+        self.env = env
+        self.node_id = node_id
+        self.machine = machine
+        self.cpu = HostCpu(env, machine.cpu, name=f"cpu{node_id}")
+        self.bus = IoBus(env, machine.bus, name=f"bus{node_id}")
+        self.nic = Nic(env, machine.nic, self.bus, node_id)
+        self.fm: Optional[Union[FM1, FM2]] = None
+
+    def bind_fm(self, fabric: "Fabric", fm_version: int, fm_params: FmParams) -> None:
+        if self.fm is not None:
+            raise RuntimeError(f"node {self.node_id} already has an FM endpoint")
+        cls = {1: FM1, 2: FM2}.get(fm_version)
+        if cls is None:
+            raise ValueError(f"fm_version must be 1 or 2, got {fm_version}")
+        self.fm = cls(self.env, self.node_id, self.cpu, self.bus, self.nic,
+                      fabric, fm_params)
+
+    def buffer(self, size: int, name: str = "", fill: Optional[bytes] = None) -> Buffer:
+        """Allocate a host buffer on this node."""
+        return Buffer(size, name=name or f"node{self.node_id}.buf", fill=fill)
+
+    def __repr__(self) -> str:
+        fm = type(self.fm).__name__ if self.fm else "unbound"
+        return f"<Node {self.node_id} ({self.machine.name}) fm={fm}>"

@@ -1,0 +1,17 @@
+"""CM-5 Active Messages overhead accounting (Figure 2, §2.3).
+
+A reconstruction of the dynamic-cycle-count study of Karamcheti & Chien
+(ASPLOS-VI, 1994) that the paper summarises: on the CM-5, whose network
+provides none of the guarantees applications want, 50-70% of the software
+messaging cost pays for buffer management, in-order delivery and fault
+tolerance layered in software.
+"""
+
+from repro.cmam.model import (
+    COMPONENTS,
+    CmamCostModel,
+    Side,
+    SequenceKind,
+)
+
+__all__ = ["COMPONENTS", "CmamCostModel", "SequenceKind", "Side"]

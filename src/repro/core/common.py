@@ -1,0 +1,249 @@
+"""Machinery shared by both Fast Messages generations.
+
+* :class:`FmParams` — protocol constants (packet size, credits).
+* :class:`HandlerTable` — registration of user message handlers.
+* :class:`FmEndpoint` — per-node protocol state common to FM 1.x and 2.x:
+  message-id allocation, the sender-side credit ledger, credit returns,
+  packet construction and injection (PIO across the I/O bus + NIC submit).
+
+Flow control is the credit scheme of FM 1.x, retained by 2.x (§4.1 "the
+FM 2.x API retains the service guarantees of FM 1.x"): the receiver's host
+receive region is logically partitioned per sender; a sender holds
+``credits_per_peer`` credits per destination, spends one per data packet,
+and stalls when out.  The receiver returns credits in batches once packets
+have been *processed by extract* (i.e. their region slot is free again), as
+control packets that the receiving NIC's firmware absorbs into a
+host-visible mailbox — so credit returns are never blocked behind data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Generator, Optional
+
+from repro.hardware.bus import IoBus
+from repro.hardware.cpu import HostCpu
+from repro.hardware.fabric import Fabric
+from repro.hardware.nic import Nic
+from repro.hardware.packet import HEADER_BYTES, Packet, PacketFlags, PacketHeader
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.env import Environment
+
+#: Conventional handler return value (the paper's handlers return
+#: ``FM_CONTINUE``); accepted and ignored by the extract loops.
+FM_CONTINUE = 0
+
+
+class FmError(Exception):
+    """Base class for Fast Messages protocol errors."""
+
+
+class FmProtocolError(FmError):
+    """API misuse: piece overflow, size mismatch, unknown handler id."""
+
+
+class FmCorruptionError(FmError):
+    """A corrupted packet reached an FM endpoint.
+
+    FM provides reliability by *construction* on top of an error-free
+    network (Myrinet's measured bit error rate was effectively zero, §3.1);
+    it has no retransmission machinery, so corruption is unrecoverable at
+    this layer.  Raised only when fault injection is enabled on a link.
+    """
+
+
+class FmStalledError(FmError):
+    """A sender spun on credits for longer than ``FmParams.stall_limit_ns``.
+
+    In a correctly progressing application this cannot happen: the receiver
+    eventually calls extract and credits flow back.  The limit exists so
+    that protocol deadlocks fail loudly in tests instead of spinning the
+    simulation forever.
+    """
+
+
+@dataclass(frozen=True)
+class FmParams:
+    """Protocol constants for one FM endpoint."""
+
+    packet_payload: int          # payload bytes per packet (FM1: fixed; FM2: max)
+    credits_per_peer: int = 16   # packets in flight per destination
+    credit_batch: int = 8        # receiver returns credits in batches this big
+    stall_limit_ns: int = 100_000_000   # credit-stall abort threshold (100 ms)
+    #: Spin delay while waiting for credits (one status poll per spin).
+    credit_spin_ns: int = 0      # extra backoff on top of the poll cost
+
+    def __post_init__(self) -> None:
+        if self.packet_payload < 1:
+            raise ValueError(f"packet_payload must be >= 1, got {self.packet_payload}")
+        if self.credits_per_peer < 1:
+            raise ValueError(f"credits_per_peer must be >= 1, got {self.credits_per_peer}")
+        if not 1 <= self.credit_batch <= self.credits_per_peer:
+            raise ValueError(
+                f"credit_batch must be in [1, credits_per_peer], got {self.credit_batch}"
+            )
+
+    def packets_for(self, nbytes: int) -> int:
+        """Packets needed for a message of ``nbytes`` (0 bytes -> 1 packet)."""
+        if nbytes <= 0:
+            return 1
+        return -(-nbytes // self.packet_payload)
+
+
+class HandlerTable:
+    """Registered message handlers, addressed by small integer ids."""
+
+    def __init__(self) -> None:
+        self._handlers: list[Callable] = []
+
+    def register(self, handler: Callable) -> int:
+        """Register a handler generator-function, returning its id."""
+        if not callable(handler):
+            raise TypeError(f"handler must be callable, got {handler!r}")
+        self._handlers.append(handler)
+        return len(self._handlers) - 1
+
+    def lookup(self, handler_id: int) -> Callable:
+        if not 0 <= handler_id < len(self._handlers):
+            raise FmProtocolError(f"unknown handler id {handler_id}")
+        return self._handlers[handler_id]
+
+    def __len__(self) -> int:
+        return len(self._handlers)
+
+
+class FmEndpoint:
+    """State and send-side machinery shared by FM 1.x and FM 2.x."""
+
+    def __init__(self, env: "Environment", node_id: int, cpu: HostCpu, bus: IoBus,
+                 nic: Nic, fabric: Fabric, params: FmParams):
+        self.env = env
+        self.node_id = node_id
+        self.cpu = cpu
+        self.bus = bus
+        self.nic = nic
+        self.fabric = fabric
+        self.params = params
+        self.handlers = HandlerTable()
+        # Sender side.
+        self._credits: dict[int, int] = {}       # dest -> remaining credits
+        self._next_msg_id: dict[int, int] = {}   # dest -> next message id
+        # Receiver side.
+        self._pending_returns: dict[int, int] = {}  # src -> unreturned credits
+        #: Invoked (as a generator) when a send stalls on credits; upper
+        #: layers (MPI) install their progress engine here — the paper's
+        #: "interlayer scheduling" applied to deadlock avoidance.
+        self.stall_hook: Optional[Callable[[], Generator]] = None
+        # Statistics.
+        self.stats_sent_messages = 0
+        self.stats_sent_packets = 0
+        self.stats_recv_packets = 0
+        self.stats_recv_messages = 0
+        self.stats_credit_stalls = 0
+        self.stats_credit_packets = 0
+
+    def register_handler(self, handler: Callable) -> int:
+        """Register a message handler; returns the id to pass to sends."""
+        return self.handlers.register(handler)
+
+    # -- message ids ---------------------------------------------------------
+    def alloc_msg_id(self, dest: int) -> int:
+        next_id = self._next_msg_id.get(dest, 0)
+        self._next_msg_id[dest] = next_id + 1
+        return next_id
+
+    # -- sender-side credits -------------------------------------------------
+    def credits_available(self, dest: int) -> int:
+        self._absorb_credit_returns(dest)
+        return self._credits.setdefault(dest, self.params.credits_per_peer)
+
+    def _absorb_credit_returns(self, dest: int) -> None:
+        returned = self.nic.take_credits(dest)
+        if returned:
+            have = self._credits.setdefault(dest, self.params.credits_per_peer)
+            new = have + returned
+            if new > self.params.credits_per_peer:
+                raise FmProtocolError(
+                    f"credit overflow from peer {dest}: {new} > "
+                    f"{self.params.credits_per_peer}"
+                )
+            self._credits[dest] = new
+
+    def acquire_credit(self, dest: int) -> Generator:
+        """Spend one credit toward ``dest``, spinning until one is available."""
+        waited = 0
+        stalled = False
+        while self.credits_available(dest) == 0:
+            if not stalled:
+                stalled = True
+                self.stats_credit_stalls += 1
+            yield from self.cpu.poll()
+            waited += self.cpu.params.poll_ns
+            if self.params.credit_spin_ns:
+                yield self.env.timeout(self.params.credit_spin_ns)
+                waited += self.params.credit_spin_ns
+            if self.stall_hook is not None:
+                yield from self.stall_hook()
+            if waited > self.params.stall_limit_ns:
+                raise FmStalledError(
+                    f"node {self.node_id} stalled {waited} ns waiting for "
+                    f"credits to send to node {dest} (protocol deadlock?)"
+                )
+        self._credits[dest] -= 1
+
+    # -- packet construction and injection -----------------------------------------
+    def make_header(self, dest: int, handler_id: int, msg_id: int, seq: int,
+                    msg_bytes: int, flags: PacketFlags) -> PacketHeader:
+        return PacketHeader(
+            src=self.node_id, dest=dest, handler_id=handler_id,
+            msg_id=msg_id, seq=seq, msg_bytes=msg_bytes, flags=flags,
+        )
+
+    def inject(self, packet: Packet, pio_bytes: Optional[int] = None) -> Generator:
+        """PIO a packet into NIC SRAM and hand it to the firmware.
+
+        ``pio_bytes`` overrides the bus transfer size for gather sends where
+        the payload was already PIO'd piecewise (only the header remains).
+        """
+        nbytes = packet.wire_bytes if pio_bytes is None else pio_bytes
+        self.fabric.stamp_route(packet)
+        yield from self.bus.pio_write(self.cpu, nbytes)
+        yield from self.nic.submit(packet)
+        self.stats_sent_packets += 1
+
+    # -- receiver-side credit returns ------------------------------------------------
+    def note_packet_processed(self, src: int) -> Generator:
+        """Count a processed data packet; return credits when a batch is due."""
+        if src == self.node_id:
+            return
+        pending = self._pending_returns.get(src, 0) + 1
+        self._pending_returns[src] = pending
+        if pending >= self.params.credit_batch:
+            yield from self.flush_credit_returns(src)
+
+    def flush_credit_returns(self, src: int) -> Generator:
+        """Send any pending credit return to ``src`` immediately."""
+        pending = self._pending_returns.get(src, 0)
+        if pending == 0:
+            return
+        self._pending_returns[src] = 0
+        header = self.make_header(
+            dest=src, handler_id=0, msg_id=0, seq=0, msg_bytes=0,
+            flags=PacketFlags.CONTROL | PacketFlags.FIRST | PacketFlags.LAST,
+        )
+        header.credit_return = pending
+        packet = Packet(header, b"")
+        yield from self.cpu.per_packet()
+        yield from self.inject(packet)
+        self.stats_credit_packets += 1
+
+    # -- introspection -----------------------------------------------------------
+    def outstanding_credits(self, dest: int) -> int:
+        """Credits currently spent toward ``dest`` (test invariant hook)."""
+        return self.params.credits_per_peer - self.credits_available(dest)
+
+    def __repr__(self) -> str:
+        return (f"<{type(self).__name__} node={self.node_id} "
+                f"sent={self.stats_sent_messages}msg/{self.stats_sent_packets}pkt "
+                f"recv={self.stats_recv_messages}msg/{self.stats_recv_packets}pkt>")

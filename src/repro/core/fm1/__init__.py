@@ -1,0 +1,11 @@
+"""Illinois Fast Messages 1.x (Table 1 of the paper).
+
+The three-primitive API — ``FM_send_4``, ``FM_send``, ``FM_extract`` — with
+reliable, in-order delivery and sender flow control.  Messages are presented
+to handlers as a single contiguous staging buffer, which is precisely the
+receive-side inefficiency (§3.2) that motivated FM 2.x.
+"""
+
+from repro.core.fm1.api import FM1
+
+__all__ = ["FM1"]

@@ -1,0 +1,21 @@
+"""Illinois Fast Messages 2.x (Table 2 of the paper).
+
+The stream-based API — ``FM_begin_message`` / ``FM_send_piece`` /
+``FM_end_message`` on the send side, ``FM_receive`` inside handlers and
+``FM_extract(maxbytes)`` on the receive side — providing the three features
+whose absence crippled layering on FM 1.x (§3.2 → §4.1):
+
+* **gather/scatter** — messages are composed and decomposed piecewise, with
+  no layer-interface assembly/staging copies;
+* **layer interleaving / transparent handler multithreading** — a handler
+  starts on the first packet of its message, runs as its own logical thread,
+  and is transparently descheduled inside ``FM_receive`` when it asks for
+  bytes that have not yet arrived;
+* **receiver flow control** — ``FM_extract(maxbytes)`` bounds how much data
+  the receiver lets the library present, rounded up to a packet boundary.
+"""
+
+from repro.core.fm2.api import FM2
+from repro.core.fm2.stream import RecvStream, SendStream
+
+__all__ = ["FM2", "RecvStream", "SendStream"]

@@ -1,0 +1,136 @@
+"""The FM 2.x API (Table 2 of the paper).
+
+==========================================  =========================================
+Paper primitive                             This implementation
+==========================================  =========================================
+``FM_begin_message(dest, size, handler)``   ``fm.begin_message(dest, size, handler)``
+``FM_send_piece(stream, buf, bytes)``       ``fm.send_piece(stream, buf, off, n)``
+``FM_end_message(stream)``                  ``fm.end_message(stream)``
+``FM_receive(buf, stream, bytes)``          ``stream.receive(buf, off, n)``
+``FM_extract(bytes)``                       ``fm.extract(max_bytes)``
+==========================================  =========================================
+
+Handlers are generator functions ``handler(fm, stream, src)``.  Each runs as
+its own logical thread, started transparently when the first packet of its
+message is extracted, descheduled inside ``stream.receive`` while data is in
+flight, and resumed as later packets arrive — so several handlers can be
+pending at once and a long message from one sender does not block others.
+
+All primitives are generators: ``yield from fm.begin_message(...)`` etc.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.hardware.memory import Buffer
+from repro.hardware.packet import Packet
+
+from repro.core.common import FmCorruptionError, FmEndpoint, FmProtocolError
+from repro.core.fm2.stream import RecvStream, SendStream
+
+
+class FM2(FmEndpoint):
+    """One node's FM 2.x endpoint."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._streams: dict[tuple[int, int], RecvStream] = {}
+
+    # -- send side -----------------------------------------------------------
+    def begin_message(self, dest: int, msg_bytes: int, handler_id: int) -> Generator:
+        """Open a message stream to ``dest`` (FM_begin_message).
+
+        Returns the :class:`SendStream` to pass to ``send_piece`` /
+        ``end_message``.
+        """
+        if msg_bytes < 0:
+            raise FmProtocolError(f"negative message size {msg_bytes}")
+        if dest == self.node_id:
+            raise FmProtocolError("FM does not support self-sends")
+        self.handlers.lookup(handler_id)
+        yield from self.cpu.per_message()
+        return SendStream(self, dest, handler_id, msg_bytes)
+
+    def send_piece(self, stream: SendStream, buf: Buffer, offset: int,
+                   nbytes: int) -> Generator:
+        """Append a piece of arbitrary size to the message (FM_send_piece)."""
+        yield from self.cpu.call()
+        yield from stream.push_piece(buf, offset, nbytes)
+
+    def end_message(self, stream: SendStream) -> Generator:
+        """Close the message; flushes the final packet (FM_end_message)."""
+        yield from stream.finish()
+        self.stats_sent_messages += 1
+
+    def send_buffer(self, dest: int, handler_id: int, buf: Buffer, nbytes: int,
+                    offset: int = 0) -> Generator:
+        """Convenience: a whole contiguous buffer as one single-piece message."""
+        stream = yield from self.begin_message(dest, nbytes, handler_id)
+        yield from self.send_piece(stream, buf, offset, nbytes)
+        yield from self.end_message(stream)
+
+    # -- receive side -------------------------------------------------------------
+    def extract(self, max_bytes: Optional[int] = None) -> Generator:
+        """Process received packets, up to ``max_bytes`` of payload
+        (FM_extract(bytes)) — the receiver flow control of §4.1.
+
+        The limit is rounded up to the next packet boundary, exactly as the
+        paper specifies: a packet that crosses the limit is still processed
+        in full, and then extraction stops.  ``None`` means drain everything
+        pending (FM 1.x behaviour).
+
+        Returns the number of payload bytes presented to handlers.
+        """
+        if max_bytes is not None and max_bytes < 0:
+            raise FmProtocolError(f"negative extract budget {max_bytes}")
+        yield from self.cpu.poll()
+        extracted = 0
+        while max_bytes is None or extracted < max_bytes:
+            packet = self.nic.recv_region.try_get()
+            if packet is None:
+                break
+            extracted += (yield from self._process_packet(packet))
+        return extracted
+
+    def pending_handlers(self) -> int:
+        """Messages whose handlers have started but not finished."""
+        return sum(1 for s in self._streams.values() if not s.handler_finished)
+
+    # -- internals --------------------------------------------------------------------
+    def _process_packet(self, packet: Packet) -> Generator:
+        header = packet.header
+        yield from self.cpu.per_packet()
+        if not packet.crc_ok():
+            raise FmCorruptionError(
+                f"node {self.node_id} received a corrupted packet from "
+                f"{header.src}: FM relies on the network's (Myrinet's) "
+                "effectively-zero error rate and has no recovery (§3.1)"
+            )
+        self.stats_recv_packets += 1
+        yield from self.note_packet_processed(header.src)
+
+        key = (header.src, header.msg_id)
+        stream = self._streams.get(key)
+        if stream is None:
+            if not header.is_first:
+                raise FmProtocolError(
+                    f"mid-message packet for unknown stream {key} "
+                    "(in-order delivery violated?)"
+                )
+            stream = RecvStream(self, header.src, header.msg_id,
+                                header.handler_id, header.msg_bytes)
+            self._streams[key] = stream
+            handler = self.handlers.lookup(header.handler_id)
+            yield from self.cpu.call()
+            stream.handler_process = self.env.process(
+                handler(self, stream, header.src),
+                name=f"fm2.handler[{self.node_id}]{key}",
+            )
+        yield from stream.feed(packet)
+
+        if stream.complete and stream.handler_finished:
+            stream.discard_unconsumed()
+            del self._streams[key]
+            self.stats_recv_messages += 1
+        return packet.payload_bytes

@@ -1,0 +1,265 @@
+"""FM 2.x streams: the send-side gather stream and receive-side scatter stream.
+
+A :class:`SendStream` accumulates arbitrary-size pieces into packets of at
+most ``packet_payload`` bytes; each piece is PIO'd to the NIC as it is
+supplied (gather: no assembly copy — the bus crossing *is* the data
+movement).
+
+A :class:`RecvStream` is the handler-visible byte stream of one incoming
+message.  The extract loop feeds it packet payloads; the handler consumes it
+with ``receive`` in chunks of any size, each chunk copied exactly once, from
+the receive region straight into the handler-chosen destination buffer.
+The handler runs as its own simulation process; extract and the handler
+rendezvous through the two one-shot events ``_data_ready`` (handler parked,
+waiting for bytes) and ``_parked`` (extract parked, waiting for the handler
+to consume what is available or finish) — this is the paper's "transparent
+handler multithreading" made concrete.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.hardware.memory import Buffer
+from repro.hardware.packet import HEADER_BYTES, Packet, PacketFlags
+
+from repro.core.common import FmProtocolError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.events import Event
+    from repro.simkernel.process import Process
+    from repro.core.fm2.api import FM2
+
+
+class SendStream:
+    """An in-progress outgoing message (returned by ``FM_begin_message``)."""
+
+    def __init__(self, fm: "FM2", dest: int, handler_id: int, msg_bytes: int):
+        self.fm = fm
+        self.dest = dest
+        self.handler_id = handler_id
+        self.msg_bytes = msg_bytes
+        self.msg_id = fm.alloc_msg_id(dest)
+        self.sent_bytes = 0
+        self.next_seq = 0
+        self.closed = False
+        self._fill = bytearray()
+        self._last_emitted = False
+
+    @property
+    def remaining(self) -> int:
+        return self.msg_bytes - self.sent_bytes - len(self._fill)
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise FmProtocolError(
+                f"send stream to node {self.dest} used after FM_end_message"
+            )
+
+    def push_piece(self, buf: Buffer, offset: int, nbytes: int) -> Generator:
+        """Gather ``nbytes`` of ``buf`` into the message (FM_send_piece body).
+
+        Each piece is written to the NIC with one PIO burst (per-piece
+        startup + bytes); full packets are emitted as they fill.
+        """
+        self._check_open()
+        if nbytes < 0:
+            raise FmProtocolError(f"negative piece size {nbytes}")
+        if nbytes > self.remaining:
+            raise FmProtocolError(
+                f"piece of {nbytes} bytes overflows message: "
+                f"{self.remaining} of {self.msg_bytes} bytes remain"
+            )
+        data = buf.read(offset, nbytes)
+        # One bus burst per piece: the gather cost model.  Packet emission
+        # below charges only the header bytes.
+        yield from self.fm.bus.pio_write(self.fm.cpu, nbytes)
+        taken = 0
+        cap = self.fm.params.packet_payload
+        while taken < nbytes:
+            room = cap - len(self._fill)
+            take = min(room, nbytes - taken)
+            self._fill += data[taken: taken + take]
+            taken += take
+            if len(self._fill) == cap:
+                # If this full packet completes the declared size, it is the
+                # LAST — no empty trailer follows.
+                completes = self.sent_bytes + len(self._fill) == self.msg_bytes
+                yield from self._emit(last=completes)
+
+    def finish(self) -> Generator:
+        """Emit the final packet (FM_end_message body)."""
+        self._check_open()
+        if self.remaining != 0:
+            raise FmProtocolError(
+                f"FM_end_message with {self.remaining} bytes of the declared "
+                f"{self.msg_bytes} unsent"
+            )
+        if not self._last_emitted:
+            yield from self._emit(last=True)
+        self.closed = True
+
+    def _emit(self, last: bool) -> Generator:
+        flags = PacketFlags.NONE
+        if self.next_seq == 0:
+            flags |= PacketFlags.FIRST
+        if last:
+            flags |= PacketFlags.LAST
+            self._last_emitted = True
+        header = self.fm.make_header(
+            self.dest, self.handler_id, self.msg_id, self.next_seq,
+            self.msg_bytes, flags,
+        )
+        packet = Packet(header, bytes(self._fill))
+        self.sent_bytes += len(self._fill)
+        self._fill.clear()
+        self.next_seq += 1
+        yield from self.fm.cpu.per_packet()
+        yield from self.fm.acquire_credit(self.dest)
+        # Payload bytes were PIO'd piece-by-piece; only the header crosses now.
+        yield from self.fm.inject(packet, pio_bytes=HEADER_BYTES)
+
+
+class RecvStream:
+    """The byte stream of one incoming message (handler-visible)."""
+
+    def __init__(self, fm: "FM2", src: int, msg_id: int, handler_id: int,
+                 msg_bytes: int):
+        self.fm = fm
+        self.src = src
+        self.msg_id = msg_id
+        self.handler_id = handler_id
+        self.msg_bytes = msg_bytes
+        self.arrived_bytes = 0
+        self.consumed_bytes = 0
+        self.next_seq = 0
+        self.complete = False          # LAST packet has been fed
+        self._chunks: deque[bytes] = deque()
+        self._data_ready: Optional["Event"] = None   # handler parked here
+        self._parked: Optional["Event"] = None       # extract parked here
+        self.handler_process: Optional["Process"] = None
+
+    # -- handler side: FM_receive ------------------------------------------------
+    @property
+    def remaining(self) -> int:
+        """Bytes of the message the handler has not yet consumed."""
+        return self.msg_bytes - self.consumed_bytes
+
+    def available(self) -> int:
+        return self.arrived_bytes - self.consumed_bytes
+
+    def receive(self, buf: Buffer, offset: int, nbytes: int) -> Generator:
+        """Copy the next ``nbytes`` of the message into ``buf`` (FM_receive).
+
+        Blocks (deschedules the handler, returning control to extract) until
+        enough packets have arrived.  Data is copied exactly once, chunk by
+        chunk, from the receive region into the destination.
+        """
+        if nbytes < 0:
+            raise FmProtocolError(f"negative receive size {nbytes}")
+        if nbytes > self.remaining:
+            raise FmProtocolError(
+                f"FM_receive of {nbytes} bytes exceeds the {self.remaining} "
+                f"bytes remaining in the {self.msg_bytes}-byte message"
+            )
+        copied = 0
+        while copied < nbytes:
+            if not self._chunks:
+                yield from self._wait_for_data()
+                continue
+            chunk = self._chunks.popleft()
+            take = min(len(chunk), nbytes - copied)
+            view = Buffer.from_bytes(chunk[:take], name="recv_region_chunk")
+            yield from self.fm.cpu.memcpy(
+                view, 0, buf, offset + copied, take, label="fm2.deliver",
+            )
+            if take < len(chunk):
+                self._chunks.appendleft(chunk[take:])
+            copied += take
+            self.consumed_bytes += take
+
+    def receive_bytes(self, nbytes: int) -> Generator:
+        """Convenience: receive into a fresh buffer and return the bytes."""
+        buf = Buffer(nbytes, name="recv_tmp")
+        yield from self.receive(buf, 0, nbytes)
+        return buf.read()
+
+    def _wait_for_data(self) -> Generator:
+        if self.complete:
+            raise FmProtocolError(
+                f"internal: stream ({self.src}, {self.msg_id}) complete but "
+                f"handler still waiting for data"
+            )
+        self._data_ready = self.fm.env.event()
+        self._unpark_extract()
+        yield self._data_ready
+
+    def _unpark_extract(self) -> None:
+        if self._parked is not None:
+            parked, self._parked = self._parked, None
+            parked.succeed()
+
+    # -- extract side ---------------------------------------------------------------
+    def feed(self, packet: Packet) -> Generator:
+        """Append a packet's payload and run the handler until it parks.
+
+        Called by the extract loop; returns once the handler has consumed
+        what it wants of the data so far (i.e. is parked in ``FM_receive``
+        or has finished) — the controlled interleaving of §4.1.
+        """
+        header = packet.header
+        if header.seq != self.next_seq:
+            raise FmProtocolError(
+                f"out-of-order packet for message ({self.src}, {self.msg_id}): "
+                f"seq {header.seq}, expected {self.next_seq}"
+            )
+        self.next_seq += 1
+        if packet.payload:
+            self._chunks.append(packet.payload)
+            self.arrived_bytes += len(packet.payload)
+        if header.is_last:
+            if self.arrived_bytes != self.msg_bytes:
+                raise FmProtocolError(
+                    f"message ({self.src}, {self.msg_id}) completed with "
+                    f"{self.arrived_bytes} of {self.msg_bytes} bytes"
+                )
+            self.complete = True
+        yield from self._run_handler_slice()
+
+    def _run_handler_slice(self) -> Generator:
+        """Wake (or start) the handler and wait until it parks or finishes."""
+        assert self.handler_process is not None, "feed() before handler spawn"
+        if self.handler_process.triggered:
+            return
+        self._parked = self.fm.env.event()
+        if self._data_ready is not None:
+            ready, self._data_ready = self._data_ready, None
+            ready.succeed()
+        parked = self._parked
+        done = self.handler_process
+        result = yield self.fm.env.any_of([parked, done])
+        if done.triggered and not done.ok:  # pragma: no cover - re-raised by kernel
+            raise done.value
+        self._parked = None
+
+    @property
+    def handler_finished(self) -> bool:
+        return self.handler_process is not None and self.handler_process.triggered
+
+    def discard_unconsumed(self) -> int:
+        """Drop bytes the handler chose not to receive; returns the count.
+
+        FM 2.x lets a handler consume less than the full message; leftover
+        bytes are discarded when the message is complete and the handler has
+        returned.
+        """
+        dropped = self.available()
+        self._chunks.clear()
+        self.consumed_bytes = self.arrived_bytes
+        return dropped
+
+    def __repr__(self) -> str:
+        return (f"<RecvStream src={self.src} msg={self.msg_id} "
+                f"{self.consumed_bytes}/{self.arrived_bytes}/{self.msg_bytes}B"
+                f"{' complete' if self.complete else ''}>")

@@ -1,0 +1,14 @@
+"""Extensions: counterfactual studies on the same substrate.
+
+The paper's §3.1 argues FM's guarantees are cheap *because* Myrinet
+provides reliability and ordering in hardware; CMAM's numbers (Figure 2)
+show what the guarantees cost when the network provides nothing.  This
+package implements that counterfactual on our own substrate:
+:mod:`repro.ext.swreliable` is a software-reliability protocol (source
+buffering, cumulative acks, go-back-N retransmission) running over the raw
+NICs, measurable against FM on both clean and lossy networks.
+"""
+
+from repro.ext.swreliable import SwRelParams, SwReliablePair
+
+__all__ = ["SwRelParams", "SwReliablePair"]

@@ -1,0 +1,84 @@
+"""Host CPU: an execution lock plus the cost model for software operations.
+
+The host runs one user process at a time (the paper's model: FM is a
+user-level library inside a single process; handlers run inside
+``FM_extract``).  All FM / MPI / application code paths execute *inside*
+simulation processes and charge time through this class, serialised by a
+FIFO lock so that concurrent logical activities on one host (e.g. a sockets
+server talking to several clients from separate program generators) never
+overlap in CPU time.
+
+All methods are generators, used as ``yield from cpu.memcpy(...)``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.simkernel.resources import Resource
+from repro.simkernel.units import transfer_time_ns
+
+from repro.hardware.memory import Buffer, CopyMeter, copy_bytes
+from repro.hardware.params import CpuParams
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.env import Environment
+
+
+class HostCpu:
+    """Charges simulated time for software operations on one host."""
+
+    def __init__(self, env: "Environment", params: CpuParams, name: str = "cpu"):
+        self.env = env
+        self.params = params
+        self.name = name
+        self.lock = Resource(env, capacity=1, name=f"{name}.lock")
+        self.meter = CopyMeter()
+        #: Total busy nanoseconds (for utilisation reporting).
+        self.busy_ns: int = 0
+
+    # -- core ------------------------------------------------------------------
+    def execute(self, cost_ns: int) -> Generator:
+        """Hold the CPU for ``cost_ns`` nanoseconds."""
+        if cost_ns < 0:
+            raise ValueError(f"negative CPU cost: {cost_ns}")
+        with self.lock.request() as req:
+            yield req
+            yield self.env.timeout(cost_ns)
+            self.busy_ns += cost_ns
+
+    # -- cost-model operations ------------------------------------------------
+    def memcpy(self, src: Buffer, src_off: int, dst: Buffer, dst_off: int,
+               nbytes: int, label: str = "unlabelled") -> Generator:
+        """Copy bytes between host buffers: moves data and charges time."""
+        copy_bytes(src, src_off, dst, dst_off, nbytes)
+        self.meter.record(nbytes, label)
+        cost = self.params.memcpy_startup_ns + transfer_time_ns(nbytes, self.params.memcpy_bw)
+        yield from self.execute(cost)
+
+    def memcpy_cost(self, nbytes: int) -> int:
+        """Time a copy of ``nbytes`` would take (no data movement)."""
+        return self.params.memcpy_startup_ns + transfer_time_ns(nbytes, self.params.memcpy_bw)
+
+    def call(self) -> Generator:
+        """One function call / handler dispatch."""
+        yield from self.execute(self.params.call_ns)
+
+    def poll(self) -> Generator:
+        """One poll of a device status word (uncached read over the bus)."""
+        yield from self.execute(self.params.poll_ns)
+
+    def per_packet(self) -> Generator:
+        """Per-packet protocol bookkeeping (header build/parse, credits)."""
+        yield from self.execute(self.params.per_packet_ns)
+
+    def per_message(self) -> Generator:
+        """Per-message API-crossing bookkeeping."""
+        yield from self.execute(self.params.per_message_ns)
+
+    def compute(self, cost_ns: int) -> Generator:
+        """Application compute time (explicit, for examples/benchmarks)."""
+        yield from self.execute(cost_ns)
+
+    def __repr__(self) -> str:
+        return f"<HostCpu {self.name!r} busy={self.busy_ns}ns>"

@@ -1,0 +1,41 @@
+"""DMA engines: serialised users of the I/O bus.
+
+A :class:`DmaEngine` represents one hardware DMA channel on the NIC (one for
+each direction).  Transfers on one engine are strictly serial (the engine is
+a capacity-1 resource); the engine contends with PIO and the other engine at
+the bus arbiter inside :meth:`IoBus.dma_transfer`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.simkernel.resources import Resource
+
+from repro.hardware.bus import IoBus
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.env import Environment
+
+
+class DmaEngine:
+    """One DMA channel; transfers serialise on the engine, then on the bus."""
+
+    def __init__(self, env: "Environment", bus: IoBus, name: str = "dma"):
+        self.env = env
+        self.bus = bus
+        self.name = name
+        self.channel = Resource(env, capacity=1, name=f"{name}.channel")
+        self.transfers: int = 0
+        self.bytes: int = 0
+
+    def transfer(self, nbytes: int) -> Generator:
+        """Move ``nbytes`` across the bus on this channel."""
+        with self.channel.request() as req:
+            yield req
+            yield from self.bus.dma_transfer(nbytes)
+            self.transfers += 1
+            self.bytes += nbytes
+
+    def __repr__(self) -> str:
+        return f"<DmaEngine {self.name!r} transfers={self.transfers} bytes={self.bytes}>"

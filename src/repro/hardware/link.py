@@ -1,0 +1,104 @@
+"""Point-to-point links with cut-through pipelining and back-pressure.
+
+A link is unidirectional (full-duplex cables are two :class:`Link` objects).
+Packets are serialised onto the wire one at a time at link bandwidth; the
+propagation delay of hop ``i`` overlaps the serialisation of packet ``i+1``
+(cut-through at packet granularity).  The downstream input buffer is a
+bounded store: when it fills, delivery blocks, the in-flight window fills,
+and the serialiser stalls — the packet-granular analogue of Myrinet's
+byte-granular STOP/GO back-pressure.  **Links never drop packets**; this is
+the property FM's reliability layering relies on (§3.1 of the paper).
+
+Optional fault injection: a deterministic per-link RNG corrupts packets with
+probability ``1-(1-ber)^bits`` and sets the CORRUPT flag; the FM layers'
+behaviour under corruption is exercised by the fault-injection tests.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.simkernel.store import Store
+from repro.simkernel.units import transfer_time_ns
+
+from repro.hardware.packet import Packet, PacketFlags
+from repro.hardware.params import LinkParams
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.env import Environment
+
+
+class Link:
+    """A unidirectional wire from one component's output to another's input."""
+
+    def __init__(self, env: "Environment", params: LinkParams, name: str = "link"):
+        self.env = env
+        self.params = params
+        self.name = name
+        #: Upstream components put packets here; bounded = transmit buffer.
+        self.ingress: Store = Store(env, capacity=params.slots, name=f"{name}.ingress")
+        #: In-flight window between serialiser and deliverer.
+        self._flight: Store = Store(env, capacity=params.slots, name=f"{name}.flight")
+        self._target: Optional[Store] = None
+        self._started = False
+        self.packets: int = 0
+        self.bytes: int = 0
+        self.corrupted: int = 0
+        # Deterministic per-link RNG; only consulted when error injection is on.
+        self._rng = np.random.default_rng(zlib.crc32(name.encode()) & 0xFFFFFFFF)
+
+    def connect(self, target: Store) -> None:
+        """Set the downstream input store packets are delivered into."""
+        if self._target is not None:
+            raise RuntimeError(f"link {self.name!r} is already connected")
+        self._target = target
+
+    def start(self) -> None:
+        """Spawn the serialiser and deliverer processes."""
+        if self._target is None:
+            raise RuntimeError(f"link {self.name!r} started before connect()")
+        if self._started:
+            raise RuntimeError(f"link {self.name!r} started twice")
+        self._started = True
+        self.env.process(self._serialise(), name=f"{self.name}.serialise")
+        self.env.process(self._deliver(), name=f"{self.name}.deliver")
+
+    def wire_time(self, packet: Packet) -> int:
+        return transfer_time_ns(packet.wire_bytes, self.params.bandwidth)
+
+    # -- processes ----------------------------------------------------------
+    def _serialise(self):
+        while True:
+            packet: Packet = yield self.ingress.get()
+            yield self.env.timeout(self.wire_time(packet))
+            packet.stamp(f"{self.name}.wire", self.env.now)
+            self._maybe_corrupt(packet)
+            self.packets += 1
+            self.bytes += packet.wire_bytes
+            # Tag with earliest possible arrival so propagation pipelines.
+            yield self._flight.put((packet, self.env.now + self.params.propagation_ns))
+
+    def _deliver(self):
+        assert self._target is not None
+        while True:
+            packet, ready_at = yield self._flight.get()
+            if ready_at > self.env.now:
+                yield self.env.timeout(ready_at - self.env.now)
+            yield self._target.put(packet)
+
+    # -- fault injection ------------------------------------------------------
+    def _maybe_corrupt(self, packet: Packet) -> None:
+        ber = self.params.bit_error_rate
+        if ber <= 0.0:
+            return
+        bits = packet.wire_bytes * 8
+        p_error = 1.0 - (1.0 - ber) ** bits
+        if self._rng.random() < p_error:
+            packet.header.flags |= PacketFlags.CORRUPT
+            self.corrupted += 1
+
+    def __repr__(self) -> str:
+        return f"<Link {self.name!r} packets={self.packets} bytes={self.bytes}>"

@@ -1,0 +1,126 @@
+"""The network interface: a LANai-style co-processor model.
+
+The NIC has its own processor (the firmware loops run concurrently with the
+host CPU) and staging SRAM in both directions:
+
+* **Send:** the host pushes a fully formed packet into the bounded transmit
+  SRAM (``submit``; the PIO or DMA cost of getting the bytes across the I/O
+  bus is charged by the caller — the FM layer — *before* the slot is
+  consumed).  The transmit firmware loop drains SRAM onto the link.
+* **Receive:** the link delivers into bounded receive SRAM; the receive
+  firmware loop DMAs each data packet across the bus into the bounded
+  **host receive region**, where ``FM_extract`` finds it.
+* **Control traffic** (credit returns) is absorbed by the firmware itself
+  and posted to a host-visible credit mailbox without consuming receive
+  region slots — mirroring how real FM's LANai control program handles flow
+  control autonomously so that credits can never be blocked behind data.
+
+Every bounded store in the chain back-pressures: a receiver that stops
+extracting eventually stalls the sender's PIO, never dropping a packet.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.simkernel.store import Store
+
+from repro.hardware.bus import IoBus
+from repro.hardware.dma import DmaEngine
+from repro.hardware.link import Link
+from repro.hardware.packet import Packet
+from repro.hardware.params import NicParams
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.env import Environment
+
+
+class Nic:
+    """One host's network interface."""
+
+    def __init__(self, env: "Environment", params: NicParams, bus: IoBus,
+                 node_id: int, name: str = ""):
+        self.env = env
+        self.params = params
+        self.bus = bus
+        self.node_id = node_id
+        self.name = name or f"nic{node_id}"
+        # Send path: host -> tx SRAM -> link.
+        self.tx_sram: Store = Store(env, capacity=params.sram_packet_slots,
+                                    name=f"{self.name}.tx_sram")
+        self.tx_link: Optional[Link] = None
+        # Receive path: link -> rx SRAM -> (DMA) -> host receive region.
+        self.rx_sram: Store = Store(env, capacity=params.sram_packet_slots,
+                                    name=f"{self.name}.rx_sram")
+        self.recv_region: Store = Store(env, capacity=params.recv_region_slots,
+                                        name=f"{self.name}.recv_region")
+        self.recv_dma = DmaEngine(env, bus, name=f"{self.name}.rxdma")
+        #: Host-visible credit mailbox: peer node id -> credits returned.
+        self.credit_mailbox: dict[int, int] = {}
+        self._started = False
+        self.sent_packets: int = 0
+        self.received_packets: int = 0
+        self.control_packets: int = 0
+
+    # -- wiring ------------------------------------------------------------
+    def connect_tx(self, link: Link) -> None:
+        if self.tx_link is not None:
+            raise RuntimeError(f"{self.name!r} tx already connected")
+        self.tx_link = link
+
+    def start(self) -> None:
+        if self.tx_link is None:
+            raise RuntimeError(f"{self.name!r} started before connect_tx()")
+        if self._started:
+            raise RuntimeError(f"{self.name!r} started twice")
+        self._started = True
+        self.env.process(self._tx_firmware(), name=f"{self.name}.txfw")
+        self.env.process(self._rx_firmware(), name=f"{self.name}.rxfw")
+
+    # -- host-side API ---------------------------------------------------------
+    def submit(self, packet: Packet):
+        """Host hands a packet to the NIC (blocks while tx SRAM is full).
+
+        The caller must already have charged the bus cost of moving
+        ``packet.wire_bytes`` into SRAM (PIO via ``bus.pio_write`` for FM).
+        """
+        packet.stamp(f"{self.name}.submit", self.env.now)
+        yield self.tx_sram.put(packet)
+
+    def take_credits(self, peer: int) -> int:
+        """Drain and return credits posted by the firmware for ``peer``."""
+        credits = self.credit_mailbox.get(peer, 0)
+        if credits:
+            self.credit_mailbox[peer] = 0
+        return credits
+
+    # -- firmware loops -----------------------------------------------------------
+    def _tx_firmware(self):
+        assert self.tx_link is not None
+        while True:
+            packet: Packet = yield self.tx_sram.get()
+            yield self.env.timeout(self.params.firmware_send_ns)
+            self.sent_packets += 1
+            packet.stamp(f"{self.name}.inject", self.env.now)
+            yield self.tx_link.ingress.put(packet)
+
+    def _rx_firmware(self):
+        while True:
+            packet: Packet = yield self.rx_sram.get()
+            yield self.env.timeout(self.params.firmware_recv_ns)
+            if packet.header.is_control:
+                # Credit return: update the mailbox, consume no host slot.
+                peer = packet.header.src
+                self.credit_mailbox[peer] = (
+                    self.credit_mailbox.get(peer, 0) + packet.header.credit_return
+                )
+                self.control_packets += 1
+                continue
+            yield from self.recv_dma.transfer(packet.wire_bytes)
+            self.received_packets += 1
+            packet.stamp(f"{self.name}.dma_done", self.env.now)
+            yield self.recv_region.put(packet)
+
+    def __repr__(self) -> str:
+        return (f"<Nic {self.name!r} sent={self.sent_packets} "
+                f"recv={self.received_packets} ctrl={self.control_packets}>")

@@ -1,0 +1,121 @@
+"""Wire packets: fixed-size header plus payload bytes.
+
+The FM layers packetise messages into packets of at most
+``FmParams.packet_payload`` bytes; the header carries what the receive path
+needs to reassemble and dispatch without any per-connection state:
+
+* routing/identity: source and destination node ids,
+* demultiplexing: handler id,
+* reassembly: per-(src → dst) message id, sequence number within the
+  message, total message length, FIRST/LAST flags,
+* flow control: piggybacked credit return,
+* integrity: a CRC over the payload (only meaningful when the
+  fault-injection error model is enabled).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from enum import IntFlag
+
+
+#: Bytes of header on the wire.  FM 1.1's real header was ~12-16 bytes;
+#: 16 keeps arithmetic simple and is charged on every wire/bus/PIO crossing.
+HEADER_BYTES: int = 16
+
+
+class PacketFlags(IntFlag):
+    """Packet header flag bits (message framing, control, fault marks)."""
+
+    NONE = 0
+    FIRST = 1     # first packet of a message
+    LAST = 2      # last packet of a message
+    CONTROL = 4   # FM-internal control traffic (credit updates)
+    CORRUPT = 8   # set by the link error model when the payload was damaged
+    ACK = 16      # acknowledgement (software-reliability extension traffic)
+
+
+@dataclass
+class PacketHeader:
+    """Packet metadata (kept as a structured object; its wire size is
+    accounted as :data:`HEADER_BYTES`)."""
+
+    src: int
+    dest: int
+    handler_id: int
+    msg_id: int
+    seq: int
+    msg_bytes: int
+    flags: PacketFlags = PacketFlags.NONE
+    credit_return: int = 0
+
+    def __post_init__(self) -> None:
+        if self.src < 0 or self.dest < 0:
+            raise ValueError(f"node ids must be non-negative ({self.src}, {self.dest})")
+        if self.seq < 0 or self.msg_bytes < 0:
+            raise ValueError("seq and msg_bytes must be non-negative")
+
+    @property
+    def is_first(self) -> bool:
+        return bool(self.flags & PacketFlags.FIRST)
+
+    @property
+    def is_last(self) -> bool:
+        return bool(self.flags & PacketFlags.LAST)
+
+    @property
+    def is_control(self) -> bool:
+        return bool(self.flags & PacketFlags.CONTROL)
+
+
+@dataclass
+class Packet:
+    """A packet in flight: header, payload bytes, and a source route.
+
+    ``route`` is the list of switch output-port indices remaining on the
+    path (Myrinet-style source routing): each switch pops the head.
+    ``waypoints`` records ``(location, time_ns)`` stamps as the packet
+    moves through the system — NIC injection, link transit, switch
+    forwarding, DMA arrival, extraction — enabling per-stage latency
+    attribution (see ``repro.bench.journey``).
+    """
+
+    header: PacketHeader
+    payload: bytes
+    route: list[int] = field(default_factory=list)
+    crc: int = 0
+    waypoints: list[tuple[str, int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.payload, (bytes, bytearray)):
+            raise TypeError(f"payload must be bytes, got {type(self.payload).__name__}")
+        self.payload = bytes(self.payload)
+        if self.crc == 0:
+            self.crc = compute_crc(self.payload)
+
+    @property
+    def wire_bytes(self) -> int:
+        """Size on the wire / bus: header plus payload."""
+        return HEADER_BYTES + len(self.payload)
+
+    @property
+    def payload_bytes(self) -> int:
+        return len(self.payload)
+
+    def crc_ok(self) -> bool:
+        return not (self.header.flags & PacketFlags.CORRUPT) and compute_crc(self.payload) == self.crc
+
+    def stamp(self, location: str, time_ns: int) -> None:
+        """Record a waypoint on this packet's journey."""
+        self.waypoints.append((location, time_ns))
+
+    def __repr__(self) -> str:
+        h = self.header
+        return (f"<Packet {h.src}->{h.dest} msg={h.msg_id} seq={h.seq} "
+                f"{len(self.payload)}B flags={h.flags!r}>")
+
+
+def compute_crc(payload: bytes) -> int:
+    """CRC-32 of the payload (zlib's, which is fine for a simulator)."""
+    return zlib.crc32(payload) & 0xFFFFFFFF

@@ -1,0 +1,143 @@
+"""The simulation environment: clock, event heap, run loop."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Optional
+
+from repro.simkernel.errors import SimulationError
+from repro.simkernel.events import AllOf, AnyOf, Event, PRIORITY_NORMAL, Timeout
+from repro.simkernel.process import Process
+
+
+class Environment:
+    """Holds simulated time and executes events in deterministic order.
+
+    Events scheduled for the same instant are ordered by ``priority`` then by
+    a monotonically increasing sequence number, so any run is a pure function
+    of the model — there is no dependence on hash ordering or wall-clock.
+    """
+
+    def __init__(self, initial_time: int = 0):
+        if not isinstance(initial_time, int) or initial_time < 0:
+            raise ValueError(f"initial_time must be a non-negative int, got {initial_time!r}")
+        self._now: int = initial_time
+        self._heap: list[tuple[int, int, int, Event]] = []
+        self._seq: int = 0
+        self._active_process: Optional[Process] = None
+        self._active_processes: int = 0
+        #: Optional hook called as ``trace(time, event)`` before each event fires.
+        self.trace: Optional[Callable[[int, Event], None]] = None
+
+    # -- clock ---------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active_process
+
+    @property
+    def active_process_count(self) -> int:
+        """Number of processes started but not yet finished."""
+        return self._active_processes
+
+    # -- event factories -------------------------------------------------------
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None, priority: int = PRIORITY_NORMAL) -> Timeout:
+        """An event that fires ``delay`` nanoseconds from now."""
+        return Timeout(self, delay, value, priority)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a new process from a generator."""
+        return Process(self, generator, name)
+
+    def any_of(self, events) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling -------------------------------------------------------------
+    def schedule(self, event: Event, delay: int = 0, priority: int = PRIORITY_NORMAL) -> None:
+        """Queue a triggered event to fire ``delay`` ns from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> Optional[int]:
+        """Time of the next scheduled event, or None if the heap is empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def step(self) -> None:
+        """Fire exactly one event (the earliest)."""
+        if not self._heap:
+            raise SimulationError("step() on an empty event heap")
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        if when < self._now:  # pragma: no cover - guarded by schedule()
+            raise SimulationError("event heap corrupted: time went backwards")
+        self._now = when
+        if self.trace is not None:
+            self.trace(when, event)
+        callbacks, event.callbacks = event.callbacks, None
+        event._processed = True
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            exc = event._value
+            raise exc
+
+    def run(self, until: Optional[int | Event] = None) -> Any:
+        """Run until the heap drains, time ``until`` passes, or event fires.
+
+        * ``until=None`` — run to quiescence (no events left).
+        * ``until=<int>`` — run until simulated time reaches that instant;
+          ``now`` is set to exactly ``until`` even if the heap drains early.
+        * ``until=<Event>`` — run until the event fires and return its value
+          (raises ``SimulationError`` if the heap drains first).
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            target = until
+            if target._processed:
+                if not target._ok:
+                    raise target._value
+                return target._value
+            sentinel: list[bool] = []
+            target.callbacks.append(lambda _e: sentinel.append(True))
+            while self._heap and not sentinel:
+                self.step()
+            if not sentinel:
+                raise SimulationError(
+                    "run(until=event): event heap drained before the event fired "
+                    "(deadlock: some process is waiting on a condition that can "
+                    "never become true)"
+                )
+            if not target._ok:
+                target._defused = True
+                raise target._value
+            return target._value
+
+        if isinstance(until, int):
+            if until < self._now:
+                raise ValueError(f"until ({until}) is in the past (now={self._now})")
+            while self._heap and self._heap[0][0] <= until:
+                self.step()
+            self._now = until
+            return None
+
+        raise TypeError(f"until must be None, an int time, or an Event; got {until!r}")
+
+    def __repr__(self) -> str:
+        return f"<Environment now={self._now} pending={len(self._heap)}>"

@@ -1,0 +1,240 @@
+"""Events: the unit of causality in the simulation.
+
+An :class:`Event` has three states:
+
+* *pending* — created, not yet scheduled to fire;
+* *triggered* — given a value (or exception) and queued on the environment's
+  event heap;
+* *processed* — its callbacks have run.
+
+Processes wait on events by ``yield``-ing them; the kernel resumes the
+process when the event is processed.  Composite conditions (:class:`AnyOf`,
+:class:`AllOf`) let a process wait for whichever of several events fires
+first, or for all of them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+
+from repro.simkernel.errors import EventAlreadyTriggered
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simkernel.env import Environment
+
+#: Scheduling priorities for simultaneous events.  Lower sorts earlier.
+PRIORITY_HIGH = 0
+PRIORITY_NORMAL = 1
+PRIORITY_LOW = 2
+
+
+class Event:
+    """A one-shot occurrence with a value and callbacks.
+
+    Callbacks receive the event itself.  After :meth:`succeed` or
+    :meth:`fail` the event is queued; callbacks run when the environment pops
+    it from the heap.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed", "_defused")
+
+    #: Sentinel meaning "no value yet".
+    _PENDING = object()
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = Event._PENDING
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+        self._defused = False
+
+    # -- state inspection -------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is queued to fire."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been executed."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (valid only once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is Event._PENDING:
+            raise AttributeError(f"value of {self!r} is not yet available")
+        return self._value
+
+    # -- triggering --------------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise EventAlreadyTriggered(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self._triggered = True
+        self.env.schedule(self, delay=0, priority=priority)
+        return self
+
+    def fail(self, exception: BaseException, priority: int = PRIORITY_NORMAL) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception propagates into every process waiting on this event.
+        If nothing ever waits, the environment re-raises it at ``run()`` time
+        unless :meth:`defused` was called — silent failures hide bugs.
+        """
+        if self._triggered:
+            raise EventAlreadyTriggered(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self._triggered = True
+        self.env.schedule(self, delay=0, priority=priority)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger with the state of another event (callback-compatible)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.defuse_source(event)
+            self.fail(event._value)
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so ``run()`` won't re-raise it."""
+        self._defused = True
+
+    @staticmethod
+    def defuse_source(event: "Event") -> None:
+        event._defused = True
+
+    # -- composition ---------------------------------------------------------
+    def __or__(self, other: "Event") -> "Condition":
+        """``a | b`` — fires when either event fires (AnyOf)."""
+        if not isinstance(other, Event):
+            return NotImplemented
+        return AnyOf(self.env, [self, other])
+
+    def __and__(self, other: "Event") -> "Condition":
+        """``a & b`` — fires when both events have fired (AllOf)."""
+        if not isinstance(other, Event):
+            return NotImplemented
+        return AllOf(self.env, [self, other])
+
+    def __repr__(self) -> str:
+        state = (
+            "processed" if self._processed else "triggered" if self._triggered else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay.
+
+    This is how simulated time is consumed: cost models compute a duration in
+    nanoseconds and the acting process yields ``env.timeout(duration)``.
+    """
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: int, value: Any = None,
+                 priority: int = PRIORITY_NORMAL):
+        if not isinstance(delay, int):
+            raise TypeError(
+                f"timeout delay must be an integer number of nanoseconds, got {delay!r}; "
+                "use repro.simkernel.units helpers to convert"
+            )
+        if delay < 0:
+            raise ValueError(f"timeout delay must be non-negative, got {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        self._triggered = True
+        env.schedule(self, delay=delay, priority=priority)
+
+    def __repr__(self) -> str:
+        return f"<Timeout delay={self.delay} at {id(self):#x}>"
+
+
+class Condition(Event):
+    """Waits for a set of events according to an evaluation function.
+
+    The condition's value is a dict mapping each *triggered* constituent
+    event to its value, in trigger order.  A failed constituent fails the
+    whole condition immediately.
+    """
+
+    __slots__ = ("_events", "_evaluate", "_count")
+
+    def __init__(self, env: "Environment", evaluate: Callable[[int, int], bool],
+                 events: Iterable[Event]):
+        super().__init__(env)
+        self._events = tuple(events)
+        self._evaluate = evaluate
+        self._count = 0
+        for event in self._events:
+            if event.env is not env:
+                raise ValueError("all events in a condition must share one environment")
+
+        if not self._events and evaluate(0, 0):
+            self.succeed({})
+            return
+
+        for event in self._events:
+            if event._processed:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _ordered_values(self) -> dict[Event, Any]:
+        # Processed, not merely triggered: a Timeout is born triggered but
+        # has not *fired* until the environment processes it.
+        return {e: e._value for e in self._events if e._processed and e._ok}
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            if not event._ok:
+                event._defused = True
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._count += 1
+        if self._evaluate(len(self._events), self._count):
+            self.succeed(self._ordered_values())
+
+
+def _eval_any(total: int, count: int) -> bool:
+    return count > 0 or total == 0
+
+
+def _eval_all(total: int, count: int) -> bool:
+    return count == total
+
+
+class AnyOf(Condition):
+    """Fires when the first of ``events`` fires."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, _eval_any, events)
+
+
+class AllOf(Condition):
+    """Fires when all of ``events`` have fired."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env, _eval_all, events)

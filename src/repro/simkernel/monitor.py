@@ -1,0 +1,63 @@
+"""Lightweight instrumentation for simulation runs.
+
+Probes record (time, value) samples; counters track named totals.  The
+benchmark harness uses these to measure delivered bytes over simulated time
+without perturbing the model (recording costs no simulated time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.env import Environment
+
+
+@dataclass
+class Probe:
+    """A named time series of samples."""
+
+    env: "Environment"
+    name: str = ""
+    times: list[int] = field(default_factory=list)
+    values: list[Any] = field(default_factory=list)
+
+    def record(self, value: Any) -> None:
+        self.times.append(self.env.now)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    @property
+    def last(self) -> Any:
+        if not self.values:
+            raise IndexError(f"probe {self.name!r} has no samples")
+        return self.values[-1]
+
+
+class Counters:
+    """A bag of named integer counters with a strict-access policy.
+
+    Reading a counter that was never incremented returns 0; that is the
+    common "nothing happened" case in assertions.
+    """
+
+    def __init__(self) -> None:
+        self._counts: dict[str, int] = {}
+
+    def add(self, name: str, amount: int = 1) -> None:
+        self._counts[name] = self._counts.get(name, 0) + amount
+
+    def __getitem__(self, name: str) -> int:
+        return self._counts.get(name, 0)
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._counts)
+
+    def reset(self) -> None:
+        self._counts.clear()
+
+    def __repr__(self) -> str:
+        return f"Counters({self._counts!r})"

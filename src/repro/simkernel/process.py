@@ -1,0 +1,141 @@
+"""Processes: generator coroutines driven by events.
+
+A process wraps a Python generator.  Each ``yield`` hands the kernel an
+:class:`~repro.simkernel.events.Event`; the kernel resumes the generator
+with the event's value once it fires (or throws the event's exception into
+the generator).  A process is itself an event that fires when the generator
+returns, so processes can wait on each other — this is how, e.g., an FM 2.x
+handler coroutine is joined by the extract loop.
+"""
+
+from __future__ import annotations
+
+from types import GeneratorType
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.simkernel.errors import Interrupt, SimulationError, StopProcess
+from repro.simkernel.events import Event, PRIORITY_NORMAL
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.simkernel.env import Environment
+
+
+class Process(Event):
+    """Execution of a generator within the simulation.
+
+    The process event's value is the generator's return value.  Uncaught
+    exceptions inside the generator fail the process event and propagate to
+    any process waiting on it (or abort ``run()`` if nobody waits).
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        if not isinstance(generator, GeneratorType):
+            raise TypeError(
+                f"Process requires a generator, got {generator!r}; "
+                "did you forget to call the generator function?"
+            )
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self.name = name or generator.__name__
+        init = Event(env)
+        init.callbacks.append(self._resume)
+        init.succeed(None)
+        env._active_processes += 1
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting on (None if running)."""
+        return self._target
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The interrupt is delivered as a high-priority immediate event, so a
+        process blocked on e.g. a long DMA completion wakes "now".  The event
+        it was waiting on is *not* cancelled; the process may re-wait on it.
+        """
+        if self._triggered:
+            raise SimulationError(f"cannot interrupt dead process {self.name!r}")
+        if self.env.active_process is self:
+            raise SimulationError("a process cannot interrupt itself")
+        fault = Event(self.env)
+        fault._defused = True
+        fault.callbacks.append(self._resume_interrupt)
+        fault.fail(Interrupt(cause))
+
+    # -- kernel internals ---------------------------------------------------
+    def _resume_interrupt(self, event: Event) -> None:
+        if self._triggered:
+            return  # process finished between interrupt scheduling and delivery
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:  # pragma: no cover - already detached
+                pass
+        self._target = None
+        self._step(event, throw=True)
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        self._step(event, throw=not event._ok)
+
+    def _step(self, event: Event, throw: bool) -> None:
+        env = self.env
+        prev, env._active_process = env.active_process, self
+        try:
+            while True:
+                try:
+                    if throw:
+                        event._defused = True
+                        next_event = self._generator.throw(event._value)
+                    else:
+                        next_event = self._generator.send(event._value if event is not None else None)
+                except StopIteration as exc:
+                    env._active_processes -= 1
+                    self.succeed(exc.value)
+                    return
+                except StopProcess as exc:
+                    env._active_processes -= 1
+                    self._generator.close()
+                    self.succeed(exc.value)
+                    return
+                except BaseException as exc:
+                    env._active_processes -= 1
+                    self.fail(exc)
+                    return
+
+                if not isinstance(next_event, Event):
+                    env._active_processes -= 1
+                    err = SimulationError(
+                        f"process {self.name!r} yielded a non-event: {next_event!r}"
+                    )
+                    self.fail(err)
+                    return
+                if next_event.env is not env:
+                    env._active_processes -= 1
+                    self.fail(SimulationError(
+                        f"process {self.name!r} yielded an event from another environment"
+                    ))
+                    return
+
+                if next_event._processed:
+                    # Already fired: continue synchronously without rescheduling.
+                    event, throw = next_event, not next_event._ok
+                    continue
+                self._target = next_event
+                next_event.callbacks.append(self._resume)
+                return
+        finally:
+            env._active_process = prev
+
+    def __repr__(self) -> str:
+        state = "dead" if self._triggered else "alive"
+        return f"<Process {self.name!r} {state}>"
+

@@ -1,0 +1,140 @@
+"""Exclusive-use resources with FIFO or priority queueing.
+
+A :class:`Resource` models a device that at most ``capacity`` processes may
+hold at once — the host CPU, a DMA engine, a bus grant.  Requests are events;
+a process does::
+
+    with cpu.request() as req:
+        yield req
+        yield env.timeout(cost)
+
+The ``with`` form releases on exit even if the process is interrupted while
+holding (or waiting for) the resource.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Optional
+
+from repro.simkernel.errors import SimulationError
+from repro.simkernel.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.env import Environment
+
+
+class Request(Event):
+    """A pending or granted claim on a resource (usable as context manager)."""
+
+    __slots__ = ("resource", "key")
+
+    def __init__(self, resource: "Resource", key: tuple):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.key = key
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_val, exc_tb) -> None:
+        self.resource.release(self)
+        return None
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-granted request."""
+        self.resource.release(self)
+
+
+class Resource:
+    """A FIFO resource with integer capacity.
+
+    Fairness: grants strictly follow request order (for
+    :class:`PriorityResource`, priority order with FIFO tie-break), which
+    keeps host-CPU contention between the send path and the extract path
+    deterministic.
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._users: set[Request] = set()
+        self._queue: list[tuple[tuple, Request]] = []  # heap keyed by request key
+        self._seq = 0
+
+    # -- API -------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of current holders."""
+        return len(self._users)
+
+    @property
+    def queued(self) -> int:
+        """Number of requests waiting."""
+        return len(self._queue)
+
+    def request(self) -> Request:
+        self._seq += 1
+        req = Request(self, key=(self._seq,))
+        self._admit_or_queue(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Release a held request, or cancel a queued one. Idempotent."""
+        if request in self._users:
+            self._users.remove(request)
+            self._grant_next()
+        else:
+            for i, (_key, queued_req) in enumerate(self._queue):
+                if queued_req is request:
+                    self._queue.pop(i)
+                    heapq.heapify(self._queue)
+                    break
+
+    # -- internals ------------------------------------------------------------
+    def _admit_or_queue(self, req: Request) -> None:
+        if len(self._users) < self.capacity:
+            self._users.add(req)
+            req.succeed(req)
+        else:
+            heapq.heappush(self._queue, (req.key, req))
+
+    def _grant_next(self) -> None:
+        while self._queue and len(self._users) < self.capacity:
+            _key, req = heapq.heappop(self._queue)
+            self._users.add(req)
+            req.succeed(req)
+
+    def __repr__(self) -> str:
+        return (f"<{type(self).__name__} {self.name!r} users={len(self._users)}"
+                f"/{self.capacity} queued={len(self._queue)}>")
+
+
+class PriorityResource(Resource):
+    """Resource whose queue is ordered by (priority, arrival)."""
+
+    def request(self, priority: int = 0) -> Request:  # type: ignore[override]
+        self._seq += 1
+        req = Request(self, key=(priority, self._seq))
+        self._admit_or_queue(req)
+        return req
+
+
+class Mutex(Resource):
+    """Capacity-1 resource — a plain lock with deterministic FIFO handoff."""
+
+    def __init__(self, env: "Environment", name: str = ""):
+        super().__init__(env, capacity=1, name=name)
+
+    def locked(self) -> bool:
+        return self.count == 1
+
+
+def held_by_anyone(resource: Resource) -> bool:
+    """True if the resource has at least one holder (test helper)."""
+    if not isinstance(resource, Resource):
+        raise SimulationError(f"not a resource: {resource!r}")
+    return resource.count > 0

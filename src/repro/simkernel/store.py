@@ -1,0 +1,131 @@
+"""Bounded FIFO stores — the building block for queues with back-pressure.
+
+A :class:`Store` holds up to ``capacity`` items.  ``put`` blocks when full
+and ``get`` blocks when empty.  Bounded stores are how the hardware layer
+expresses back-pressure end to end: NIC SRAM packet slots, link slots and
+host receive-region slots are all stores, so a slow consumer stalls the
+producer chain exactly as Myrinet's link-level flow control does.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.simkernel.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.env import Environment
+
+
+class StorePut(Event):
+    """Pending put; fires (with the item) once the item is in the store."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, env: "Environment", item: Any):
+        super().__init__(env)
+        self.item = item
+
+
+class StoreGet(Event):
+    """Pending get; fires with the retrieved item."""
+
+    __slots__ = ()
+
+
+class Store:
+    """Deterministic bounded FIFO queue of items."""
+
+    def __init__(self, env: "Environment", capacity: float = float("inf"), name: str = ""):
+        if capacity != float("inf"):
+            if not isinstance(capacity, int) or capacity < 1:
+                raise ValueError(f"capacity must be a positive int or inf, got {capacity!r}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self.items: deque[Any] = deque()
+        self._puts: deque[StorePut] = deque()
+        self._gets: deque[StoreGet] = deque()
+
+    # -- API ------------------------------------------------------------------
+    @property
+    def level(self) -> int:
+        """Number of items currently stored."""
+        return len(self.items)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.items) >= self.capacity
+
+    def put(self, item: Any) -> StorePut:
+        event = StorePut(self.env, item)
+        self._puts.append(event)
+        self._settle()
+        return event
+
+    def get(self) -> StoreGet:
+        event = StoreGet(self.env)
+        self._gets.append(event)
+        self._settle()
+        return event
+
+    def try_get(self) -> Optional[Any]:
+        """Non-blocking get: pop an item if available, else None.
+
+        Only valid when no getters are queued (otherwise it would jump the
+        FIFO order); the FM extract loop uses it to poll without blocking.
+        """
+        if self._gets:
+            raise RuntimeError("try_get while blocking getters are queued breaks FIFO order")
+        if not self.items:
+            return None
+        item = self.items.popleft()
+        self._settle()
+        return item
+
+    def cancel_get(self, event: StoreGet) -> None:
+        """Withdraw a pending get (used when a poller gives up)."""
+        try:
+            self._gets.remove(event)
+        except ValueError:
+            pass
+
+    # -- internals --------------------------------------------------------------
+    def _settle(self) -> None:
+        """Admit queued puts and satisfy queued gets until quiescent."""
+        progress = True
+        while progress:
+            progress = False
+            while self._puts and len(self.items) < self.capacity:
+                put = self._puts.popleft()
+                self.items.append(put.item)
+                put.succeed(put.item)
+                progress = True
+            while self._gets and self.items:
+                get = self._gets.popleft()
+                get.succeed(self.items.popleft())
+                progress = True
+
+    def __repr__(self) -> str:
+        cap = "inf" if self.capacity == float("inf") else self.capacity
+        return (f"<Store {self.name!r} level={len(self.items)}/{cap} "
+                f"puts={len(self._puts)} gets={len(self._gets)}>")
+
+
+class PeekableStore(Store):
+    """Store that additionally allows observing the head without removal."""
+
+    def peek(self) -> Optional[Any]:
+        return self.items[0] if self.items else None
+
+
+def drain(store: Store) -> list[Any]:
+    """Remove and return all immediately available items (test helper)."""
+    out = []
+    while True:
+        item = store.try_get()
+        if item is None:
+            break
+        out.append(item)
+    return out

@@ -1,0 +1,77 @@
+"""Structured run tracing: what fired when.
+
+Attach a :class:`Tracer` to an environment and every processed event is
+recorded as ``(time, kind, name)``.  Useful for debugging protocol
+interleavings (which firmware loop ran between two extracts?) and for
+asserting determinism at event granularity, which the property tests do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.simkernel.events import Event, Timeout
+from repro.simkernel.process import Process
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simkernel.env import Environment
+
+
+@dataclass
+class TraceRecord:
+    time: int
+    kind: str       # "timeout" | "process" | "event"
+    name: str
+
+    def __iter__(self):
+        return iter((self.time, self.kind, self.name))
+
+
+@dataclass
+class Tracer:
+    """Records processed events; install with :meth:`attach`."""
+
+    records: list[TraceRecord] = field(default_factory=list)
+    #: Optional predicate limiting what gets recorded.
+    keep: Optional[Callable[[TraceRecord], bool]] = None
+    _previous: Optional[Callable] = None
+
+    def attach(self, env: "Environment") -> "Tracer":
+        if env.trace is not None:
+            self._previous = env.trace
+        env.trace = self._hook
+        return self
+
+    def detach(self, env: "Environment") -> None:
+        env.trace = self._previous
+
+    def _hook(self, time: int, event: Event) -> None:
+        if isinstance(event, Process):
+            record = TraceRecord(time, "process", event.name)
+        elif isinstance(event, Timeout):
+            record = TraceRecord(time, "timeout", f"+{event.delay}")
+        else:
+            record = TraceRecord(time, "event", type(event).__name__)
+        if self.keep is None or self.keep(record):
+            self.records.append(record)
+        if self._previous is not None:
+            self._previous(time, event)
+
+    # -- queries ---------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def names(self, kind: Optional[str] = None) -> list[str]:
+        return [r.name for r in self.records if kind is None or r.kind == kind]
+
+    def between(self, start: int, end: int) -> list[TraceRecord]:
+        return [r for r in self.records if start <= r.time < end]
+
+    def timeline(self, limit: int = 50) -> str:
+        """Human-readable trace dump (first ``limit`` records)."""
+        lines = [f"{r.time:>12} ns  {r.kind:<8} {r.name}"
+                 for r in self.records[:limit]]
+        if len(self.records) > limit:
+            lines.append(f"... {len(self.records) - limit} more")
+        return "\n".join(lines)

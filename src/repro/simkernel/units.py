@@ -1,0 +1,68 @@
+"""Time units for the simulation clock.
+
+The simulation clock is an integer count of **nanoseconds**.  Integer time
+makes runs exactly reproducible (no floating-point drift in event ordering)
+and one nanosecond is fine enough to resolve every cost in the Fast Messages
+cost models (the smallest real quantity modelled is a fraction of a CPU cycle
+at 200 MHz = 5 ns).
+"""
+
+from __future__ import annotations
+
+#: One nanosecond — the base tick of the simulation clock.
+NANOSECOND: int = 1
+#: Nanoseconds per microsecond.
+MICROSECOND: int = 1_000
+#: Nanoseconds per millisecond.
+MILLISECOND: int = 1_000_000
+#: Nanoseconds per second.
+SECOND: int = 1_000_000_000
+
+
+def us(value: float) -> int:
+    """Convert microseconds to integer nanosecond ticks (rounded)."""
+    return round(value * MICROSECOND)
+
+
+def ms(value: float) -> int:
+    """Convert milliseconds to integer nanosecond ticks (rounded)."""
+    return round(value * MILLISECOND)
+
+
+def s(value: float) -> int:
+    """Convert seconds to integer nanosecond ticks (rounded)."""
+    return round(value * SECOND)
+
+
+def ns_to_us(ticks: int) -> float:
+    """Convert nanosecond ticks back to microseconds (float)."""
+    return ticks / MICROSECOND
+
+
+def ns_to_s(ticks: int) -> float:
+    """Convert nanosecond ticks back to seconds (float)."""
+    return ticks / SECOND
+
+
+def bytes_per_sec_to_ns_per_byte(rate: float) -> float:
+    """Convert a bandwidth in bytes/second into nanoseconds/byte.
+
+    Used by DMA engines, buses and links:  ``duration_ns = bytes * ns_per_byte``
+    (rounded to an integer tick at the call site, never here, so repeated
+    transfers don't accumulate rounding bias in the rate itself).
+    """
+    if rate <= 0:
+        raise ValueError(f"bandwidth must be positive, got {rate!r}")
+    return SECOND / rate
+
+
+def transfer_time_ns(nbytes: int, rate_bytes_per_sec: float, startup_ns: int = 0) -> int:
+    """Time to move ``nbytes`` at ``rate_bytes_per_sec`` plus a fixed startup.
+
+    Rounds up: a transfer can never complete in *less* time than the rate
+    allows, and ceil keeps bandwidth measurements conservative.
+    """
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+    per_byte = bytes_per_sec_to_ns_per_byte(rate_bytes_per_sec)
+    return startup_ns + int(-(-nbytes * per_byte // 1))  # ceil

@@ -1,0 +1,5 @@
+"""Minimal Global Arrays over Shmem (§4.2)."""
+
+from repro.upper.ga.global_arrays import GaError, GlobalArray
+
+__all__ = ["GaError", "GlobalArray"]

@@ -1,0 +1,153 @@
+"""MPI over FM 1.x: the copy-ridden binding of §3.2.
+
+The interface pathologies this binding reproduces, each as a real metered
+copy:
+
+* **send assembly** (``mpi1.send_assembly``): FM 1.x accepts only a single
+  contiguous buffer, so attaching the 24-byte MPI envelope forces the whole
+  payload to be copied into an assembly buffer before ``FM_send``.
+* **no receive steering** (``mpi1.pool_copy`` + ``mpi1.deliver``): the FM
+  handler is given the complete message in FM's staging buffer, but MPI's
+  buffer management lives a layer above — the identity of the message and
+  the pointer to the pre-posted user buffer cannot be exchanged between the
+  layers mid-message (the paper's exact complaint), so the payload goes
+  staging buffer -> MPI pool buffer -> user buffer even when the receive
+  was pre-posted.
+* **no receiver pacing** (``mpi1.spill_copy``): ``FM_extract`` drains
+  everything pending, so bursts overrun the small unexpected pool and the
+  overflow is copied again into spill storage ("induced additional layers
+  of buffering and data copies", §3.2).
+
+Costs are calibrated for mid-90s MPICH on the 60 MHz Sparc testbed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.hardware.memory import Buffer
+
+from repro.core.fm1.api import FM1
+from repro.upper.mpi.constants import KIND_CTS, KIND_EAGER, KIND_RENDEZVOUS_DATA, KIND_RTS
+from repro.upper.mpi.engine import MpiCosts, UnexpectedMsg
+from repro.upper.mpi.envelope import ENVELOPE_BYTES, Envelope
+from repro.upper.mpi.status import MpiError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.upper.mpi.engine import MpiEngine
+
+#: Calibrated against Figure 4 (see EXPERIMENTS.md): heavyweight ADI paths
+#: on the 60 MHz SparcStation.
+MPI1_DEFAULT_COSTS = MpiCosts(
+    send_overhead_ns=12_000,
+    recv_overhead_ns=8_000,
+    match_ns=1_500,
+    header_build_ns=500,
+    pool_slots=2,
+    eager_threshold=16 * 1024,
+    progress_budget=None,        # FM 1.x extract has no byte budget
+    completion_ns=2_000,
+)
+
+
+class MpiFm1Binding:
+    """Send/receive paths of MPI over the FM 1.x API."""
+
+    def __init__(self, engine: "MpiEngine"):
+        self.engine = engine
+        self.fm = engine.fm
+        if not isinstance(self.fm, FM1):
+            raise TypeError(
+                f"MpiFm1Binding needs an FM 1.x endpoint, got {type(self.fm).__name__}"
+            )
+        self.handler_id = self.fm.register_handler(self._handler)
+
+    # -- send ---------------------------------------------------------------
+    def send_message(self, dest: int, envelope: Envelope, payload: bytes) -> Generator:
+        """Assemble envelope + payload contiguously, then FM_send."""
+        cpu = self.engine.cpu
+        total = ENVELOPE_BYTES + len(payload)
+        assembly = Buffer(total, name=f"mpi1.assembly[{self.engine.rank}]")
+        assembly.write(envelope.pack(), 0)
+        if payload:
+            source = Buffer.from_bytes(payload, name="mpi1.user_send")
+            # The FM 1.x interface copy: user data into the assembly buffer.
+            yield from cpu.memcpy(source, 0, assembly, ENVELOPE_BYTES,
+                                  len(payload), label="mpi1.send_assembly")
+        yield from self.fm.send(dest, self.handler_id, assembly, total)
+
+    # -- receive ----------------------------------------------------------------
+    def _handler(self, fm, src: int, staging: Buffer, nbytes: int) -> Generator:
+        engine = self.engine
+        cpu = engine.cpu
+        yield from cpu.execute(engine.costs.match_ns)
+        env = Envelope.unpack(staging.read(0, ENVELOPE_BYTES))
+
+        if env.kind == KIND_CTS:
+            engine.arrival_cts(env)
+            return
+        if env.kind == KIND_RTS:
+            engine.arrival_rts(env)
+            return
+        if env.kind not in (KIND_EAGER, KIND_RENDEZVOUS_DATA):
+            raise MpiError(f"unknown protocol kind {env.kind}")
+
+        if env.kind == KIND_RENDEZVOUS_DATA:
+            posted = engine.take_rendezvous_posted(env)
+            engine.check_capacity(posted, env)
+            # Rendezvous skips the pool, but the staging -> user copy remains.
+            yield from cpu.memcpy(staging, ENVELOPE_BYTES, posted.buf, 0,
+                                  env.size, label="mpi1.deliver")
+            engine.complete_posted(posted, env)
+            return
+
+        # Eager: FM 1.x cannot steer data mid-message, so the payload always
+        # transits an MPI pool buffer, pre-posted receive or not.
+        pool_buf = Buffer(env.size, name=f"mpi1.pool[{engine.rank}]")
+        if env.size:
+            yield from cpu.memcpy(staging, ENVELOPE_BYTES, pool_buf, 0,
+                                  env.size, label="mpi1.pool_copy")
+
+        posted = engine.match_posted(env)
+        if posted is not None:
+            engine.check_capacity(posted, env)
+            if env.size:
+                yield from cpu.memcpy(pool_buf, 0, posted.buf, 0, env.size,
+                                      label="mpi1.deliver")
+            engine.complete_posted(posted, env)
+            return
+
+        entry = UnexpectedMsg(env, pool_buf)
+        engine.enqueue_unexpected(entry)
+        # Pool overrun: FM 1.x's uncontrolled extract floods MPI faster than
+        # the application drains; overflow is copied out to spill storage.
+        if len(engine.unexpected) > engine.costs.pool_slots and env.size:
+            spill = Buffer(env.size, name=f"mpi1.spill[{engine.rank}]")
+            yield from cpu.memcpy(pool_buf, 0, spill, 0, env.size,
+                                  label="mpi1.spill_copy")
+            entry.data_buf = spill
+            entry.spilled = True
+            engine.stats_spills += 1
+
+    def send_message_pieces(self, dest: int, envelope: Envelope,
+                            pieces: list[bytes]) -> Generator:
+        """FM 1.x cannot gather: a multi-piece payload must be packed into
+        one contiguous buffer first (an extra copy per byte)."""
+        cpu = self.engine.cpu
+        payload_len = sum(len(piece) for piece in pieces)
+        packed = Buffer(payload_len, name="mpi1.pack")
+        offset = 0
+        for piece in pieces:
+            if piece:
+                source = Buffer.from_bytes(piece, name="mpi1.user_piece")
+                yield from cpu.memcpy(source, 0, packed, offset, len(piece),
+                                      label="mpi1.datatype_pack")
+                offset += len(piece)
+        yield from self.send_message(dest, envelope, packed.read())
+
+    def deliver_unexpected(self, entry: UnexpectedMsg, user_buf: Buffer) -> Generator:
+        """Pool (or spill) buffer -> user buffer at MPI_Recv time."""
+        env = entry.envelope
+        if env.size:
+            yield from self.engine.cpu.memcpy(entry.data_buf, 0, user_buf, 0,
+                                              env.size, label="mpi1.deliver")

@@ -1,0 +1,133 @@
+"""MPI over FM 2.x: the binding the paper's §4 enables.
+
+How each FM 2.x feature is used, mirroring §4.1's worked example:
+
+* **gather** — the 24-byte envelope is the first ``FM_send_piece`` and the
+  user payload is the second, straight from the user buffer: no assembly
+  copy anywhere on the send path.
+* **layer interleaving** — the handler first ``FM_receive``-s just the
+  envelope, matches it against the posted-receive queue *while the payload
+  is still arriving*, then ``FM_receive``-s the payload directly into the
+  pre-posted user buffer: exactly one copy, receive region -> destination.
+* **receiver flow control** — the progress engine extracts with a byte
+  budget (``FM_extract(bytes)``), so a burst can never flood MPI's
+  unexpected pool; there is no spill path in this binding.
+
+Costs are calibrated for the lean MPICH-over-FM-2.x port on the 200 MHz
+Pentium Pro testbed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator
+
+from repro.hardware.memory import Buffer
+
+from repro.core.fm2.api import FM2
+from repro.upper.mpi.constants import KIND_CTS, KIND_EAGER, KIND_RENDEZVOUS_DATA, KIND_RTS
+from repro.upper.mpi.engine import MpiCosts, UnexpectedMsg
+from repro.upper.mpi.envelope import ENVELOPE_BYTES, Envelope
+from repro.upper.mpi.status import MpiError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.upper.mpi.engine import MpiEngine
+
+#: Calibrated against Figure 6 (see EXPERIMENTS.md).
+MPI2_DEFAULT_COSTS = MpiCosts(
+    send_overhead_ns=500,
+    recv_overhead_ns=2000,
+    match_ns=600,
+    header_build_ns=300,
+    pool_slots=64,               # paced extraction keeps this from overflowing
+    eager_threshold=16 * 1024,
+    progress_budget=8 * 1024,    # FM_extract(8 KB): receiver data pacing
+    completion_ns=800,
+)
+
+
+class MpiFm2Binding:
+    """Send/receive paths of MPI over the FM 2.x stream API."""
+
+    def __init__(self, engine: "MpiEngine"):
+        self.engine = engine
+        self.fm = engine.fm
+        if not isinstance(self.fm, FM2):
+            raise TypeError(
+                f"MpiFm2Binding needs an FM 2.x endpoint, got {type(self.fm).__name__}"
+            )
+        self.handler_id = self.fm.register_handler(self._handler)
+
+    # -- send ---------------------------------------------------------------
+    def send_message(self, dest: int, envelope: Envelope, payload: bytes) -> Generator:
+        """Gather: envelope piece + payload piece, no assembly copy."""
+        fm: FM2 = self.fm
+        total = ENVELOPE_BYTES + len(payload)
+        header = Buffer.from_bytes(envelope.pack(), name="mpi2.envelope")
+        stream = yield from fm.begin_message(dest, total, self.handler_id)
+        yield from fm.send_piece(stream, header, 0, ENVELOPE_BYTES)
+        if payload:
+            user = Buffer.from_bytes(payload, name="mpi2.user_send")
+            yield from fm.send_piece(stream, user, 0, len(payload))
+        yield from fm.end_message(stream)
+
+    # -- receive ----------------------------------------------------------------
+    def _handler(self, fm, stream, src: int) -> Generator:
+        """The paper's §4.1 handler pattern, verbatim: header first, match,
+        then scatter the payload to its final destination."""
+        engine = self.engine
+        cpu = engine.cpu
+        header = Buffer(ENVELOPE_BYTES, name="mpi2.hdr")
+        yield from stream.receive(header, 0, ENVELOPE_BYTES)
+        env = Envelope.unpack(header.read())
+        yield from cpu.execute(engine.costs.match_ns)
+
+        if env.kind == KIND_CTS:
+            engine.arrival_cts(env)
+            return
+        if env.kind == KIND_RTS:
+            engine.arrival_rts(env)
+            return
+        if env.kind not in (KIND_EAGER, KIND_RENDEZVOUS_DATA):
+            raise MpiError(f"unknown protocol kind {env.kind}")
+
+        if env.kind == KIND_RENDEZVOUS_DATA:
+            posted = engine.take_rendezvous_posted(env)
+        else:
+            posted = engine.match_posted(env)
+
+        if posted is not None:
+            engine.check_capacity(posted, env)
+            if env.size:
+                # Receive posting: payload lands in the user buffer directly.
+                yield from stream.receive(posted.buf, 0, env.size)
+            engine.complete_posted(posted, env)
+            return
+
+        # Unexpected: one pool buffer, bounded by paced extraction.
+        pool_buf = Buffer(env.size, name=f"mpi2.pool[{engine.rank}]")
+        if env.size:
+            yield from stream.receive(pool_buf, 0, env.size)
+        engine.enqueue_unexpected(UnexpectedMsg(env, pool_buf))
+
+    def send_message_pieces(self, dest: int, envelope: Envelope,
+                            pieces: list[bytes]) -> Generator:
+        """Gather a multi-piece payload (e.g. strided rows): each piece is
+        its own FM_send_piece, straight from its source — no packing copy.
+        This is the paper's gather argument applied to derived datatypes.
+        """
+        fm: FM2 = self.fm
+        total = ENVELOPE_BYTES + sum(len(piece) for piece in pieces)
+        header = Buffer.from_bytes(envelope.pack(), name="mpi2.envelope")
+        stream = yield from fm.begin_message(dest, total, self.handler_id)
+        yield from fm.send_piece(stream, header, 0, ENVELOPE_BYTES)
+        for piece in pieces:
+            if piece:
+                chunk = Buffer.from_bytes(piece, name="mpi2.user_piece")
+                yield from fm.send_piece(stream, chunk, 0, len(piece))
+        yield from fm.end_message(stream)
+
+    def deliver_unexpected(self, entry: UnexpectedMsg, user_buf: Buffer) -> Generator:
+        env = entry.envelope
+        if env.size:
+            yield from self.engine.cpu.memcpy(entry.data_buf, 0, user_buf, 0,
+                                              env.size, label="mpi2.deliver")

@@ -1,0 +1,35 @@
+"""Building an MPI world over a simulated cluster."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.cluster import Cluster
+from repro.upper.mpi.comm import Communicator
+from repro.upper.mpi.engine import MpiCosts, MpiEngine
+from repro.upper.mpi.fm1_binding import MPI1_DEFAULT_COSTS, MpiFm1Binding
+from repro.upper.mpi.fm2_binding import MPI2_DEFAULT_COSTS, MpiFm2Binding
+
+
+def build_mpi_world(cluster: Cluster, costs: Optional[MpiCosts] = None,
+                    binding_cls=None) -> list[Communicator]:
+    """One ``comm_world`` communicator per node, bound to the cluster's FM.
+
+    The binding (FM 1.x copy-based vs FM 2.x gather-scatter) follows the
+    cluster's ``fm_version``; ``costs`` overrides the calibrated defaults
+    and ``binding_cls`` substitutes an alternative binding (used by the
+    feature-ablation benchmarks).  Rank ``i`` is node ``i``.
+    """
+    if cluster.fm_version == 1:
+        binding_cls = binding_cls or MpiFm1Binding
+        costs = costs or MPI1_DEFAULT_COSTS
+    elif cluster.fm_version == 2:
+        binding_cls = binding_cls or MpiFm2Binding
+        costs = costs or MPI2_DEFAULT_COSTS
+    else:  # pragma: no cover - cluster already validates
+        raise ValueError(f"unsupported fm_version {cluster.fm_version}")
+    comms = []
+    for node in cluster.nodes:
+        engine = MpiEngine(node, costs, cluster.n_nodes, binding_cls)
+        comms.append(Communicator(engine, context=0))
+    return comms

@@ -1,0 +1,7 @@
+"""Shmem Put/Get over FM 2.x (§4.2: "we have implemented other APIs,
+including Shmem Put/Get and Global Arrays (both global address space
+interfaces)")."""
+
+from repro.upper.shmem.shmem import Shmem, ShmemError
+
+__all__ = ["Shmem", "ShmemError"]

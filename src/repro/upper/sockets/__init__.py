@@ -1,0 +1,18 @@
+"""Sockets-FM: BSD-style stream sockets over FM 2.x (§3.2, §4.2).
+
+The paper used Berkeley sockets as the second test of FM's layering (and
+cites Fast Sockets' *receive posting* as the related copy-avoidance
+technique).  This implementation demonstrates both FM 2.x mechanisms on a
+byte-stream API:
+
+* a pending ``recv`` posts its destination buffer, and the FM handler
+  scatters arriving data straight into it (receive posting);
+* ``recv`` extracts with a byte budget derived from the read size, so a
+  slow reader back-pressures the sender through FM's flow control instead
+  of ballooning receive-side buffering (receiver pacing).
+"""
+
+from repro.upper.sockets.socket_fm import Socket, SocketStack, SocketError
+from repro.upper.sockets.winsock2 import Overlapped, Wsa
+
+__all__ = ["Overlapped", "Socket", "SocketError", "SocketStack", "Wsa"]

@@ -1,0 +1,339 @@
+"""Sockets-FM: connection setup, byte streams, receive posting, pacing.
+
+Wire format: every socket segment is one FM message whose first piece is an
+8-byte header ``(conn_id, kind)`` packed little-endian, followed for DATA
+segments by the payload.  Connections are identified by the *receiver's*
+connection id, exchanged during the SYN handshake.
+
+All calls are generators (``yield from sock.send(...)``) run inside node
+programs; one :class:`SocketStack` lives per node.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import deque
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.hardware.memory import Buffer
+
+from repro.core.fm2.api import FM2
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.node import Node
+
+_HEADER = "<ii"
+HEADER_BYTES = struct.calcsize(_HEADER)
+
+KIND_SYN = 1
+KIND_SYN_ACK = 2
+KIND_DATA = 3
+KIND_FIN = 4
+
+#: Maximum payload of one socket segment (one FM message).
+SEGMENT_BYTES = 4096
+IDLE_BACKOFF_NS = 400
+
+
+class SocketError(Exception):
+    """Connection setup/teardown and usage errors."""
+
+
+class Socket:
+    """One endpoint of an established (or in-progress) connection."""
+
+    def __init__(self, stack: "SocketStack", conn_id: int):
+        self.stack = stack
+        self.conn_id = conn_id          # my id, used by the peer to address me
+        self.peer_node: Optional[int] = None
+        self.peer_conn_id: Optional[int] = None
+        self.established = False
+        self.fin_received = False
+        self.fin_sent = False
+        self.rx_chunks: deque[bytes] = deque()
+        self.rx_bytes = 0
+        #: A pending recv's destination (receive posting target).
+        self.posted: Optional[tuple[Buffer, int, int]] = None  # buf, off, want
+        self.posted_filled = 0
+
+    # -- data transfer --------------------------------------------------------
+    def send(self, data: bytes) -> Generator:
+        """Send all of ``data`` (segments it into FM messages)."""
+        self._check_established()
+        if self.fin_sent:
+            raise SocketError("send after close")
+        offset = 0
+        while offset < len(data):
+            take = min(SEGMENT_BYTES, len(data) - offset)
+            yield from self.stack._send_segment(
+                self, KIND_DATA, data[offset: offset + take])
+            offset += take
+
+    def recv(self, nbytes: int) -> Generator:
+        """Receive up to ``nbytes``; returns b"" at end of stream.
+
+        Blocks until at least one byte (or FIN) is available.  Extraction is
+        paced: the stack extracts roughly ``nbytes`` worth of network data
+        per attempt, leaving the rest to FM's flow control.
+        """
+        if nbytes <= 0:
+            raise SocketError(f"recv size must be positive, got {nbytes}")
+        self._check_established()
+        waited = 0
+        while self.rx_bytes == 0:
+            if self.fin_received:
+                return b""
+            # Receiver pacing: extract only about what the reader asked for.
+            budget = max(nbytes + HEADER_BYTES, 256)
+            advanced = yield from self.stack.progress(budget)
+            if not advanced:
+                yield self.stack.env.timeout(IDLE_BACKOFF_NS)
+                waited += IDLE_BACKOFF_NS
+                if waited > self.stack.fm.params.stall_limit_ns:
+                    raise SocketError("recv stalled: peer gone?")
+        out = bytearray()
+        while self.rx_chunks and len(out) < nbytes:
+            chunk = self.rx_chunks.popleft()
+            take = min(len(chunk), nbytes - len(out))
+            out += chunk[:take]
+            if take < len(chunk):
+                self.rx_chunks.appendleft(chunk[take:])
+        self.rx_bytes -= len(out)
+        # Copy out of socket buffering to the application.
+        yield from self.stack.cpu.execute(self.stack.cpu.memcpy_cost(len(out)))
+        return bytes(out)
+
+    def recv_into(self, buf: Buffer, offset: int, nbytes: int) -> Generator:
+        """Receive exactly ``nbytes`` into ``buf`` with receive posting.
+
+        The destination is posted to the stack first, so segments that
+        arrive while we wait are scattered by the FM handler *directly*
+        into ``buf`` — the Fast-Sockets-style copy avoidance the paper
+        compares FM 2.x's interleaving against.  Returns the bytes filled.
+        """
+        if nbytes <= 0:
+            raise SocketError(f"recv_into size must be positive, got {nbytes}")
+        self._check_established()
+        if self.posted is not None:
+            raise SocketError("recv_into while another receive is posted")
+        # Drain anything already buffered (that data already missed posting).
+        pre = 0
+        while self.rx_chunks and pre < nbytes:
+            chunk = self.rx_chunks.popleft()
+            take = min(len(chunk), nbytes - pre)
+            view = Buffer.from_bytes(chunk[:take], name="sock.buffered")
+            yield from self.stack.cpu.memcpy(view, 0, buf, offset + pre, take,
+                                             label="sockets.buffered_deliver")
+            if take < len(chunk):
+                self.rx_chunks.appendleft(chunk[take:])
+            pre += take
+            self.rx_bytes -= take
+        if pre == nbytes:
+            return nbytes
+        self.posted = (buf, offset + pre, nbytes - pre)
+        self.posted_filled = 0
+        waited = 0
+        try:
+            while self.posted_filled < nbytes - pre:
+                if self.fin_received:
+                    raise SocketError(
+                        f"stream closed after {pre + self.posted_filled} of "
+                        f"{nbytes} bytes"
+                    )
+                budget = max(nbytes - pre - self.posted_filled + HEADER_BYTES, 256)
+                advanced = yield from self.stack.progress(budget)
+                if not advanced:
+                    yield self.stack.env.timeout(IDLE_BACKOFF_NS)
+                    waited += IDLE_BACKOFF_NS
+                    if waited > self.stack.fm.params.stall_limit_ns:
+                        raise SocketError("recv_into stalled: peer gone?")
+        finally:
+            self.posted = None
+            self.posted_filled = 0
+        return nbytes
+
+    def recv_exactly(self, nbytes: int) -> Generator:
+        """Receive exactly ``nbytes`` (raises if the stream ends early)."""
+        out = bytearray()
+        while len(out) < nbytes:
+            chunk = yield from self.recv(nbytes - len(out))
+            if not chunk:
+                raise SocketError(
+                    f"stream closed after {len(out)} of {nbytes} bytes"
+                )
+            out += chunk
+        return bytes(out)
+
+    def close(self) -> Generator:
+        """Send FIN (half-close; the peer's recv then returns b"")."""
+        if self.established and not self.fin_sent:
+            self.fin_sent = True
+            yield from self.stack._send_segment(self, KIND_FIN, b"")
+
+    def _check_established(self) -> None:
+        if not self.established:
+            raise SocketError(f"socket {self.conn_id} is not connected")
+
+    def __repr__(self) -> str:
+        state = "ESTAB" if self.established else "INIT"
+        return (f"<Socket {self.conn_id} {state} peer=node{self.peer_node}/"
+                f"conn{self.peer_conn_id} rx={self.rx_bytes}B>")
+
+
+class SocketStack:
+    """Per-node socket machinery over the node's FM 2.x endpoint."""
+
+    def __init__(self, node: "Node"):
+        if not isinstance(node.fm, FM2):
+            raise SocketError("Sockets-FM requires an FM 2.x endpoint")
+        self.node = node
+        self.env = node.env
+        self.cpu = node.cpu
+        self.fm: FM2 = node.fm
+        self.handler_id = self.fm.register_handler(self._handler)
+        self._sockets: dict[int, Socket] = {}
+        self._next_conn = 1
+        self._accept_queue: deque[Socket] = deque()
+        self._listening = False
+        self.fm.stall_hook = self._stall_progress
+        self._in_progress = False
+        #: Deferred control replies (SYN-ACK), flushed by progress().
+        self._outbox: deque[tuple[int, int, bytes]] = deque()  # node, kind... see _send_raw
+
+    # -- connection setup ----------------------------------------------------------
+    def listen(self) -> None:
+        """Start accepting incoming connections."""
+        self._listening = True
+
+    def accept(self) -> Generator:
+        """Block until an incoming connection is established; return it."""
+        if not self._listening:
+            raise SocketError("accept() before listen()")
+        waited = 0
+        while not self._accept_queue:
+            advanced = yield from self.progress(SEGMENT_BYTES)
+            if not advanced:
+                yield self.env.timeout(IDLE_BACKOFF_NS)
+                waited += IDLE_BACKOFF_NS
+                if waited > self.fm.params.stall_limit_ns:
+                    raise SocketError("accept() timed out")
+        return self._accept_queue.popleft()
+
+    def connect(self, peer_node: int) -> Generator:
+        """Open a connection to ``peer_node`` (blocks for the handshake)."""
+        sock = self._new_socket()
+        sock.peer_node = peer_node
+        # SYN carries my conn id; peer replies with theirs.
+        payload = struct.pack("<i", sock.conn_id)
+        yield from self._send_raw(peer_node, 0, KIND_SYN, payload)
+        waited = 0
+        while not sock.established:
+            advanced = yield from self.progress(SEGMENT_BYTES)
+            if not advanced:
+                yield self.env.timeout(IDLE_BACKOFF_NS)
+                waited += IDLE_BACKOFF_NS
+                if waited > self.fm.params.stall_limit_ns:
+                    raise SocketError(f"connect to node {peer_node} timed out")
+        return sock
+
+    # -- progress --------------------------------------------------------------
+    def progress(self, budget: int) -> Generator:
+        """One paced extraction pass plus deferred control replies."""
+        if self._in_progress:
+            return False
+        self._in_progress = True
+        try:
+            extracted = yield from self.fm.extract(budget)
+            flushed = False
+            while self._outbox:
+                peer, conn, kind, payload = self._outbox.popleft()
+                yield from self._send_raw(peer, conn, kind, payload)
+                flushed = True
+        finally:
+            self._in_progress = False
+        return bool(extracted) or flushed
+
+    def _stall_progress(self) -> Generator:
+        if self._in_progress:
+            return
+        yield from self.progress(SEGMENT_BYTES)
+
+    # -- wire ------------------------------------------------------------------------
+    def _send_segment(self, sock: Socket, kind: int, payload: bytes) -> Generator:
+        yield from self._send_raw(sock.peer_node, sock.peer_conn_id, kind, payload)
+
+    def _send_raw(self, peer_node: int, conn_id: int, kind: int,
+                  payload: bytes) -> Generator:
+        header = Buffer.from_bytes(struct.pack(_HEADER, conn_id, kind),
+                                   name="sock.hdr")
+        total = HEADER_BYTES + len(payload)
+        stream = yield from self.fm.begin_message(peer_node, total, self.handler_id)
+        yield from self.fm.send_piece(stream, header, 0, HEADER_BYTES)
+        if payload:
+            body = Buffer.from_bytes(payload, name="sock.payload")
+            yield from self.fm.send_piece(stream, body, 0, len(payload))
+        yield from self.fm.end_message(stream)
+
+    # -- FM handler -----------------------------------------------------------------
+    def _handler(self, fm, stream, src: int) -> Generator:
+        header = Buffer(HEADER_BYTES, name="sock.rxhdr")
+        yield from stream.receive(header, 0, HEADER_BYTES)
+        conn_id, kind = struct.unpack(_HEADER, header.read())
+        payload_len = stream.msg_bytes - HEADER_BYTES
+
+        if kind == KIND_SYN:
+            remote_conn = struct.unpack(
+                "<i", (yield from stream.receive_bytes(payload_len)))[0]
+            if not self._listening:
+                raise SocketError(f"node {self.node.node_id}: SYN while not listening")
+            sock = self._new_socket()
+            sock.peer_node = src
+            sock.peer_conn_id = remote_conn
+            sock.established = True
+            self._accept_queue.append(sock)
+            reply = struct.pack("<i", sock.conn_id)
+            self._outbox.append((src, remote_conn, KIND_SYN_ACK, reply))
+            return
+
+        sock = self._sockets.get(conn_id)
+        if sock is None:
+            raise SocketError(
+                f"node {self.node.node_id}: segment for unknown conn {conn_id}"
+            )
+
+        if kind == KIND_SYN_ACK:
+            sock.peer_conn_id = struct.unpack(
+                "<i", (yield from stream.receive_bytes(payload_len)))[0]
+            sock.established = True
+            return
+        if kind == KIND_FIN:
+            sock.fin_received = True
+            return
+        if kind != KIND_DATA:
+            raise SocketError(f"unknown segment kind {kind}")
+
+        # Receive posting: a waiting recv's buffer gets the data directly.
+        if sock.posted is not None:
+            buf, off, want = sock.posted
+            room = want - sock.posted_filled
+            direct = min(room, payload_len)
+            if direct:
+                yield from stream.receive(buf, off + sock.posted_filled, direct)
+                sock.posted_filled += direct
+            payload_len -= direct
+        if payload_len:
+            data = yield from stream.receive_bytes(payload_len)
+            sock.rx_chunks.append(data)
+            sock.rx_bytes += payload_len
+
+    # -- internals ---------------------------------------------------------------
+    def _new_socket(self) -> Socket:
+        conn_id = self._next_conn
+        self._next_conn += 1
+        sock = Socket(self, conn_id)
+        self._sockets[conn_id] = sock
+        return sock
+
+    def __repr__(self) -> str:
+        return (f"<SocketStack node={self.node.node_id} "
+                f"conns={len(self._sockets)} accepting={self._listening}>")

@@ -1,0 +1,65 @@
+"""CSV export of figure series."""
+
+import csv
+
+import pytest
+
+from repro.bench.export import (
+    FIGURE_SERIES,
+    export_figure_csv,
+    sweeps_to_csv,
+)
+from repro.bench.sweeps import SweepResult
+
+
+class TestSweepsToCsv:
+    def test_header_and_rows(self):
+        sweeps = [SweepResult("A", [16, 32], [1.0, 2.0]),
+                  SweepResult("B", [16, 32], [3.0, 4.0])]
+        text = sweeps_to_csv(sweeps)
+        rows = list(csv.reader(text.splitlines()))
+        assert rows[0] == ["size_bytes", "A", "B"]
+        assert rows[1] == ["16", "1.0000", "3.0000"]
+        assert rows[2] == ["32", "2.0000", "4.0000"]
+
+    def test_mismatched_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            sweeps_to_csv([SweepResult("A", [16], [1.0]),
+                           SweepResult("B", [32], [1.0])])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sweeps_to_csv([])
+
+
+class TestExport:
+    def test_registry_covers_curve_figures(self):
+        assert set(FIGURE_SERIES) == {"fig1", "fig3a", "fig3b", "fig4",
+                                      "fig5", "fig6"}
+
+    def test_unknown_name_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown figure"):
+            export_figure_csv("fig99", tmp_path)
+
+    def test_fig1_export_roundtrip(self, tmp_path):
+        path = export_figure_csv("fig1", tmp_path)
+        assert path.name == "fig1.csv"
+        rows = list(csv.reader(path.read_text().splitlines()))
+        assert rows[0] == ["size_bytes", "100Mbit", "1Gbit"]
+        assert len(rows) == 9
+        # The 1024-byte 1 Gbit point matches the analytic anchor.
+        last = rows[-1]
+        assert last[0] == "1024"
+        assert float(last[2]) == pytest.approx(7.69, rel=0.01)
+
+    def test_simulated_export(self, tmp_path):
+        path = export_figure_csv("fig3b", tmp_path)
+        rows = list(csv.reader(path.read_text().splitlines()))
+        bandwidths = [float(row[1]) for row in rows[1:]]
+        assert bandwidths == sorted(bandwidths)
+        assert max(bandwidths) == pytest.approx(17.6, rel=0.15)
+
+    def test_directory_created(self, tmp_path):
+        nested = tmp_path / "a" / "b"
+        path = export_figure_csv("fig1", nested)
+        assert path.exists()

@@ -1,0 +1,100 @@
+"""Extension studies, utilisation analysis, and the regen CLI."""
+
+import pytest
+
+from repro.bench.extensions import (
+    aggregate_pair_bandwidth,
+    alltoall_scaling,
+    latency_vs_hops,
+)
+from repro.bench.regen import FIGURES, main as regen_main
+from repro.bench.utilization import (
+    Utilization,
+    fm_stream_utilization,
+    mpi_stream_utilization,
+)
+from repro.configs import PPRO_FM2, SPARC_FM1
+
+
+class TestAggregatePairs:
+    def test_single_pair_matches_plain_stream(self):
+        (bandwidth,) = aggregate_pair_bandwidth(PPRO_FM2, 2, 1,
+                                                msg_bytes=1024, n_messages=20)
+        assert 40 < bandwidth < 90
+
+    def test_two_pairs_no_interference(self):
+        pair_bandwidths = aggregate_pair_bandwidth(PPRO_FM2, 2, 2,
+                                                   msg_bytes=1024,
+                                                   n_messages=20)
+        assert len(pair_bandwidths) == 2
+        assert max(pair_bandwidths) / min(pair_bandwidths) < 1.1
+
+    def test_fm1_pairs_also_scale(self):
+        pair_bandwidths = aggregate_pair_bandwidth(SPARC_FM1, 1, 2,
+                                                   msg_bytes=512,
+                                                   n_messages=15)
+        assert all(b > 10 for b in pair_bandwidths)
+
+
+class TestLatencyVsHops:
+    def test_monotone_and_bounded(self):
+        results = latency_vs_hops(max_switches=3)
+        latencies = [latency for _n, latency in results]
+        assert latencies == sorted(latencies)
+        assert latencies[0] == pytest.approx(10.1, rel=0.2)
+        assert latencies[-1] < latencies[0] + 4
+
+
+class TestAlltoallScaling:
+    def test_grows_with_nodes_and_fm2_wins(self):
+        fm1 = alltoall_scaling(1, node_counts=(2, 4))
+        fm2 = alltoall_scaling(2, node_counts=(2, 4))
+        assert fm1[0][1] < fm1[1][1]
+        assert fm2[0][1] < fm2[1][1]
+        assert fm2[0][1] < fm1[0][1]
+
+
+class TestUtilization:
+    def test_fm1_is_send_side_bound(self):
+        util = fm_stream_utilization(SPARC_FM1, 1, 512, n_messages=30)
+        assert util.bottleneck == "sender_cpu"
+        assert util.sender_bus > 0.6
+
+    def test_fm2_send_path_copyless(self):
+        util = fm_stream_utilization(PPRO_FM2, 2, 2048, n_messages=30)
+        assert util.sender_copy_bytes == 0
+
+    def test_mpi1_receiver_copies_dominate(self):
+        util = mpi_stream_utilization(SPARC_FM1, 1, 512, n_messages=20)
+        payload = 512 * 20
+        assert util.receiver_copy_bytes > 3 * payload
+
+    def test_rows_render(self):
+        util = fm_stream_utilization(PPRO_FM2, 2, 256, n_messages=10)
+        rows = dict(util.rows())
+        assert "bottleneck" in rows
+        assert rows["sender CPU busy"].endswith("%")
+
+    def test_invalid_elapsed_rejected(self):
+        from repro.cluster import Cluster
+        from repro.bench.utilization import _snapshot
+        with pytest.raises(ValueError):
+            _snapshot(Cluster(2), 0)
+
+
+class TestRegenCli:
+    def test_figures_registry_complete(self):
+        assert set(FIGURES) == {"fig1", "fig2", "fig3a", "fig3b", "fig4",
+                                "fig5", "fig6", "journey", "scorecard"}
+
+    def test_cheap_figures_run(self, capsys):
+        assert regen_main(["fig1", "fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "Figure 2" in out
+        assert "regenerated in" in out
+
+    def test_simulated_figure_runs(self, capsys):
+        assert regen_main(["fig3b"]) == 0
+        out = capsys.readouterr().out
+        assert "N-half" in out

@@ -1,0 +1,76 @@
+"""Microbenchmark harness sanity (mechanics, not calibration)."""
+
+import pytest
+
+from repro.bench.breakdown import STAGES, breakdown_sweep, lean_stream_bandwidth_mbs
+from repro.bench.microbench import fm_pingpong, fm_stream
+from repro.cluster import Cluster
+from repro.configs import PPRO_FM2, SPARC_FM1
+
+
+class TestPingPong:
+    @pytest.mark.parametrize("machine,version", [(SPARC_FM1, 1), (PPRO_FM2, 2)])
+    def test_reports_positive_latency(self, machine, version):
+        result = fm_pingpong(Cluster(2, machine, version), 16, iterations=5)
+        assert result.one_way_latency_us > 0
+        assert result.round_trips == 5
+
+    def test_latency_grows_with_message_size(self):
+        small = fm_pingpong(Cluster(2, PPRO_FM2, 2), 16, iterations=5)
+        large = fm_pingpong(Cluster(2, PPRO_FM2, 2), 2048, iterations=5)
+        assert large.one_way_latency_us > small.one_way_latency_us
+
+    def test_warmup_excluded(self):
+        result = fm_pingpong(Cluster(2, PPRO_FM2, 2), 16, iterations=7,
+                             warmup=2)
+        assert result.round_trips == 7
+
+
+class TestStream:
+    @pytest.mark.parametrize("machine,version", [(SPARC_FM1, 1), (PPRO_FM2, 2)])
+    def test_bandwidth_positive_and_bounded(self, machine, version):
+        result = fm_stream(Cluster(2, machine, version), 512, n_messages=20)
+        assert 0 < result.bandwidth_mbs < machine.link.bandwidth / 1e6
+        assert result.n_messages == 20
+
+    def test_bandwidth_monotone_in_size(self):
+        bandwidths = [fm_stream(Cluster(2, PPRO_FM2, 2), size, 20).bandwidth_mbs
+                      for size in (16, 256, 2048)]
+        assert bandwidths == sorted(bandwidths)
+
+    def test_more_messages_converges(self):
+        """Pipeline fill amortises: doubling the message count moves the
+        measured bandwidth by only a few percent once warm."""
+        mid = fm_stream(Cluster(2, PPRO_FM2, 2), 1024, n_messages=40)
+        long = fm_stream(Cluster(2, PPRO_FM2, 2), 1024, n_messages=80)
+        assert mid.bandwidth_mbs == pytest.approx(long.bandwidth_mbs,
+                                                  rel=0.10)
+
+    def test_extract_budget_does_not_change_result(self):
+        free = fm_stream(Cluster(2, PPRO_FM2, 2), 1024, 20)
+        paced = fm_stream(Cluster(2, PPRO_FM2, 2), 1024, 20,
+                          extract_budget=2048)
+        assert paced.bandwidth_mbs == pytest.approx(free.bandwidth_mbs,
+                                                    rel=0.25)
+
+
+class TestBreakdown:
+    def test_three_stages(self):
+        assert [stage.name for stage in STAGES] == [
+            "Link Mgmt", "I/O bus Mgmt", "Flow Control"]
+
+    def test_stage_ordering_matches_figure_3a(self):
+        """Link-only is far above the bus-limited curves; flow control costs
+        only a little more than the bus crossing."""
+        curves = breakdown_sweep(SPARC_FM1, (64, 256, 512), n_messages=25)
+        link, bus, flow = curves
+        assert link.peak_mbs > 2.5 * bus.peak_mbs
+        assert bus.peak_mbs >= flow.peak_mbs
+        assert flow.peak_mbs > 0.8 * bus.peak_mbs
+
+    def test_lean_driver_reaches_near_link_speed(self):
+        from repro.bench.breakdown import _free_bus
+        bandwidth = lean_stream_bandwidth_mbs(_free_bus(SPARC_FM1), 512,
+                                              n_messages=30)
+        wire_payload_limit = SPARC_FM1.link.bandwidth / 1e6 * (128 / 144)
+        assert bandwidth > 0.9 * wire_payload_limit

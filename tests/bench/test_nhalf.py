@@ -1,0 +1,52 @@
+"""The N-half estimator."""
+
+import pytest
+
+from repro.bench.nhalf import n_half
+
+
+class TestNHalf:
+    def test_exact_hit(self):
+        # Peak 10, half power 5 reached exactly at size 64.
+        assert n_half([16, 32, 64, 128], [2, 3, 5, 10]) == 64
+
+    def test_log_interpolation(self):
+        # Half power (5) falls between 32 (4) and 64 (6): halfway in log2.
+        result = n_half([16, 32, 64, 128], [2, 4, 6, 10])
+        assert result == pytest.approx(2 ** 5.5, rel=1e-6)
+
+    def test_below_measurement_range(self):
+        assert n_half([16, 32], [9, 10]) == 16
+
+    def test_saturating_curve(self):
+        sizes = [16, 32, 64, 128, 256, 512]
+        bandwidths = [1, 2, 4, 8, 15, 17]
+        result = n_half(sizes, bandwidths)
+        assert 128 < result < 256
+
+    def test_flat_curve_returns_smallest(self):
+        assert n_half([16, 32, 64], [5, 5, 5]) == 16
+
+    def test_validation_length_mismatch(self):
+        with pytest.raises(ValueError):
+            n_half([1, 2], [1.0])
+
+    def test_validation_too_few_points(self):
+        with pytest.raises(ValueError):
+            n_half([1], [1.0])
+
+    def test_validation_not_increasing(self):
+        with pytest.raises(ValueError):
+            n_half([16, 16], [1, 2])
+
+    def test_validation_negative_bandwidth(self):
+        with pytest.raises(ValueError):
+            n_half([1, 2], [1, -1])
+
+    def test_monotone_shift(self):
+        """Higher fixed overhead (same peak) pushes N-half right."""
+        sizes = [2 ** k for k in range(4, 12)]
+        def curve(overhead_ns):
+            return [s / (overhead_ns + s / 0.08) for s in sizes]  # B/ns peak
+        assert (n_half(sizes, curve(2000))
+                < n_half(sizes, curve(6000)))

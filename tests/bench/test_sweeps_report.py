@@ -1,0 +1,86 @@
+"""Sweep containers and report rendering."""
+
+import pytest
+
+from repro.bench.report import (
+    HeadlineRow,
+    bar_table,
+    curve_table,
+    efficiency_table,
+    headline_table,
+)
+from repro.bench.sweeps import SweepResult, sweep_with
+
+
+@pytest.fixture
+def sweep():
+    return SweepResult("FM", [16, 64, 256], [2.0, 8.0, 16.0])
+
+
+class TestSweepResult:
+    def test_peak(self, sweep):
+        assert sweep.peak_mbs == 16.0
+
+    def test_at(self, sweep):
+        assert sweep.at(64) == 8.0
+        with pytest.raises(ValueError):
+            sweep.at(999)
+
+    def test_n_half_property(self, sweep):
+        assert 16 <= sweep.n_half_bytes <= 256
+
+    def test_efficiency_vs(self, sweep):
+        upper = SweepResult("MPI", [16, 64, 256], [1.0, 4.0, 12.0])
+        assert upper.efficiency_vs(sweep) == [50.0, 50.0, 75.0]
+
+    def test_efficiency_mismatched_sizes(self, sweep):
+        other = SweepResult("X", [16, 64], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            other.efficiency_vs(sweep)
+
+    def test_efficiency_zero_baseline(self):
+        base = SweepResult("B", [16], [0.0])
+        upper = SweepResult("U", [16], [1.0])
+        assert upper.efficiency_vs(base) == [0.0]
+
+    def test_sweep_with(self):
+        result = sweep_with(lambda size: size / 8.0, [16, 32], "half")
+        assert result.bandwidths_mbs == [2.0, 4.0]
+        assert result.label == "half"
+
+
+class TestReportRendering:
+    def test_curve_table_contains_all_points(self, sweep):
+        text = curve_table("Figure X", [sweep])
+        assert "Figure X" in text
+        for size in sweep.sizes:
+            assert str(size) in text
+        assert "16.00" in text
+
+    def test_curve_table_rejects_mismatch(self, sweep):
+        other = SweepResult("Y", [1, 2], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            curve_table("t", [sweep, other])
+
+    def test_curve_table_needs_one_sweep(self):
+        with pytest.raises(ValueError):
+            curve_table("t", [])
+
+    def test_efficiency_table(self, sweep):
+        upper = SweepResult("MPI", [16, 64, 256], [1.0, 4.0, 12.0])
+        text = efficiency_table("Fig 6b", upper, sweep)
+        assert "75.0" in text
+        assert "MPI" in text
+
+    def test_headline_table(self):
+        rows = [HeadlineRow("latency", "11 us", "10.1 us", "-8%")]
+        text = headline_table("Headlines", rows)
+        assert "latency" in text and "11 us" in text and "-8%" in text
+
+    def test_bar_table_totals(self):
+        values = {("a", "g1"): 1.0, ("a", "g2"): 2.0,
+                  ("b", "g1"): 3.0, ("b", "g2"): 4.0}
+        text = bar_table("Fig 2", ["g1", "g2"], ["a", "b"], values)
+        lines = text.splitlines()
+        assert lines[-1].startswith("TOTAL")
+        assert "4" in lines[-1] and "6" in lines[-1]

@@ -1,0 +1,102 @@
+"""Cluster assembly and program execution."""
+
+import pytest
+
+from repro.cluster import Cluster, Node
+from repro.cluster.cluster import default_fm_params
+from repro.configs import PPRO_FM2, SPARC_FM1
+from repro.core import FM1, FM2, FmParams
+from repro.hardware.topology import single_switch, switch_chain
+
+
+class TestBuild:
+    def test_minimum_nodes(self):
+        with pytest.raises(ValueError):
+            Cluster(1)
+
+    def test_fm_version_selects_endpoint(self):
+        assert isinstance(Cluster(2, SPARC_FM1, 1).node(0).fm, FM1)
+        assert isinstance(Cluster(2, PPRO_FM2, 2).node(0).fm, FM2)
+
+    def test_invalid_fm_version(self):
+        with pytest.raises(ValueError):
+            default_fm_params(3)
+
+    def test_default_params_per_generation(self):
+        assert default_fm_params(1).packet_payload == 128
+        assert default_fm_params(2).packet_payload == 1024
+
+    def test_topology_size_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="topology"):
+            Cluster(3, topology=single_switch(4))
+
+    def test_custom_topology_accepted(self):
+        cluster = Cluster(6, topology=switch_chain(6, hosts_per_switch=2))
+        assert cluster.n_nodes == 6
+
+    def test_credit_scheme_capacity_check(self):
+        params = FmParams(packet_payload=1024, credits_per_peer=100,
+                          credit_batch=8)
+        with pytest.raises(ValueError, match="receive region too small"):
+            Cluster(8, fm_params=params)
+
+    def test_nodes_have_distinct_hardware(self):
+        cluster = Cluster(3)
+        cpus = {id(node.cpu) for node in cluster.nodes}
+        nics = {id(node.nic) for node in cluster.nodes}
+        assert len(cpus) == len(nics) == 3
+
+    def test_node_buffer_helper(self):
+        node = Cluster(2).node(0)
+        buf = node.buffer(8, fill=b"ab")
+        assert buf.read(0, 2) == b"ab"
+
+    def test_rebind_fm_rejected(self):
+        cluster = Cluster(2)
+        with pytest.raises(RuntimeError):
+            cluster.node(0).bind_fm(cluster.fabric, 2, cluster.fm_params)
+
+
+class TestRun:
+    def test_results_in_node_order(self):
+        cluster = Cluster(3)
+        def make(value):
+            def program(node):
+                yield node.env.timeout(10)
+                return value
+            return program
+        assert cluster.run([make("a"), make("b"), make("c")]) == ["a", "b", "c"]
+
+    def test_none_program_is_idle(self):
+        cluster = Cluster(2)
+        def program(node):
+            yield node.env.timeout(5)
+            return node.node_id
+        assert cluster.run([program, None]) == [0, None]
+
+    def test_too_many_programs_rejected(self):
+        cluster = Cluster(2)
+        with pytest.raises(ValueError):
+            cluster.run([None, None, None])
+
+    def test_timeout_raises_with_laggards(self):
+        cluster = Cluster(2)
+        def slow(node):
+            yield node.env.timeout(10_000_000)
+        with pytest.raises(TimeoutError):
+            cluster.run([slow, None], until_ns=1_000)
+
+    def test_program_exception_propagates(self):
+        cluster = Cluster(2)
+        def bad(node):
+            yield node.env.timeout(1)
+            raise RuntimeError("program crashed")
+        with pytest.raises(RuntimeError, match="program crashed"):
+            cluster.run([bad, None])
+
+    def test_now_tracks_environment(self):
+        cluster = Cluster(2)
+        def program(node):
+            yield node.env.timeout(123)
+        cluster.run([program, None])
+        assert cluster.now == 123

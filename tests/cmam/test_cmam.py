@@ -1,0 +1,101 @@
+"""CMAM overhead model (Figure 2): anchors, structure, scaling."""
+
+import pytest
+
+from repro.cmam import COMPONENTS, CmamCostModel, SequenceKind, Side
+
+
+@pytest.fixture
+def paper_case():
+    """The configuration quoted verbatim in §2.3."""
+    return CmamCostModel(message_words=16, packet_words=4)
+
+
+class TestPaperAnchor:
+    def test_total_397(self, paper_case):
+        assert paper_case.total() == 397
+
+    def test_buffer_management_148(self, paper_case):
+        assert paper_case.cycles("buffer_mgmt") == 148
+
+    def test_in_order_21(self, paper_case):
+        assert paper_case.cycles("in_order") == 21
+
+    def test_fault_tolerance_47(self, paper_case):
+        assert paper_case.cycles("fault_tolerance") == 47
+
+    def test_guarantees_are_216_of_397(self, paper_case):
+        assert paper_case.guarantee_cycles() == 216
+
+    def test_base_cost_is_the_remainder(self, paper_case):
+        assert paper_case.cycles("base") == 397 - 216
+
+
+class TestStructure:
+    def test_total_is_src_plus_dest(self, paper_case):
+        for component in COMPONENTS:
+            for seq in SequenceKind:
+                total = paper_case.cycles(component, Side.TOTAL, seq)
+                parts = (paper_case.cycles(component, Side.SRC, seq)
+                         + paper_case.cycles(component, Side.DEST, seq))
+                assert total == parts
+
+    def test_breakdown_sums_to_total(self, paper_case):
+        for side in Side:
+            for seq in SequenceKind:
+                assert (sum(paper_case.breakdown(side, seq).values())
+                        == paper_case.total(side, seq))
+
+    def test_unknown_component_rejected(self, paper_case):
+        with pytest.raises(ValueError, match="unknown component"):
+            paper_case.cycles("nonsense")
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            CmamCostModel(message_words=0)
+        with pytest.raises(ValueError):
+            CmamCostModel(packet_words=0)
+
+    def test_packet_count(self):
+        assert CmamCostModel(16, 4).n_packets == 4
+        assert CmamCostModel(17, 4).n_packets == 5
+        assert CmamCostModel(3, 4).n_packets == 1
+
+
+class TestIndefiniteSequence:
+    def test_costs_more_than_finite(self, paper_case):
+        assert (paper_case.total(sequence=SequenceKind.INDEFINITE)
+                > paper_case.total(sequence=SequenceKind.FINITE))
+
+    def test_buffer_mgmt_inflates_most(self, paper_case):
+        """Dynamic buffering is what the indefinite protocol pays for."""
+        finite = paper_case.breakdown(sequence=SequenceKind.FINITE)
+        indefinite = paper_case.breakdown(sequence=SequenceKind.INDEFINITE)
+        ratios = {c: indefinite[c] / finite[c] for c in COMPONENTS if finite[c]}
+        assert max(ratios, key=ratios.get) in ("buffer_mgmt", "fault_tolerance")
+
+    def test_figure_scale(self, paper_case):
+        """Figure 2's y-axis tops out at 500; indefinite total sits there."""
+        total = paper_case.total(sequence=SequenceKind.INDEFINITE)
+        assert 450 <= total <= 560
+
+
+class TestGuaranteeFraction:
+    def test_paper_band_50_to_70_percent(self, paper_case):
+        """§2.3: 'up to 50%-70% of the software messaging costs are a direct
+        consequence of the gap' — the model lands in that band."""
+        for seq in SequenceKind:
+            fraction = paper_case.guarantee_fraction(sequence=seq)
+            assert 0.50 <= fraction <= 0.70
+
+    def test_single_packet_message_cheaper(self):
+        small = CmamCostModel(message_words=4, packet_words=4)
+        assert small.total() < CmamCostModel(16, 4).total()
+
+    def test_cost_scales_linearly_with_packets(self):
+        four = CmamCostModel(16, 4).total()       # 4 packets
+        eight = CmamCostModel(32, 4).total()      # 8 packets
+        sixteen = CmamCostModel(64, 4).total()    # 16 packets
+        slope_a = (eight - four) / (8 - 4)
+        slope_b = (sixteen - eight) / (16 - 8)
+        assert slope_a == slope_b                 # constant per-packet slope

@@ -1,0 +1,113 @@
+"""Fairness and sharing: multiple senders into one receiver.
+
+The paper's §4.1 claims the FM 2.x design keeps one sender's long message
+from starving others; these tests quantify sharing beyond the single
+interleaving check: with symmetric load, both senders finish within a
+small factor of each other, and the receiver's extract serves them in
+arrival order (no sender-priority bias).
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.configs import PPRO_FM2, SPARC_FM1
+
+
+def run_two_senders(fm_version, msg_bytes, n_messages):
+    machine = SPARC_FM1 if fm_version == 1 else PPRO_FM2
+    cluster = Cluster(3, machine=machine, fm_version=fm_version)
+    finish = {}
+    count = {0: 0, 1: 0}
+
+    if fm_version == 1:
+        def handler(fm, src, staging, nbytes):
+            count[src] += 1
+            if count[src] == n_messages:
+                finish[src] = fm.env.now
+            return
+            yield  # pragma: no cover
+    else:
+        def handler(fm, stream, src):
+            yield from stream.receive_bytes(stream.msg_bytes)
+            count[src] += 1
+            if count[src] == n_messages:
+                finish[src] = stream.fm.env.now
+
+    hid = {node.fm.register_handler(handler) for node in cluster.nodes}.pop()
+
+    def make_sender(rank):
+        def sender(node):
+            buf = node.buffer(msg_bytes)
+            for _ in range(n_messages):
+                if fm_version == 1:
+                    yield from node.fm.send(2, hid, buf, msg_bytes)
+                else:
+                    yield from node.fm.send_buffer(2, hid, buf, msg_bytes)
+        return sender
+
+    def receiver(node):
+        while len(finish) < 2:
+            got = yield from node.fm.extract()
+            if not got:
+                yield node.env.timeout(500)
+
+    cluster.run([make_sender(0), make_sender(1), receiver])
+    return finish, count
+
+
+class TestSymmetricFairness:
+    @pytest.mark.parametrize("fm_version", [1, 2])
+    def test_equal_senders_finish_together(self, fm_version):
+        finish, count = run_two_senders(fm_version, msg_bytes=512,
+                                        n_messages=12)
+        assert count == {0: 12, 1: 12}
+        times = sorted(finish.values())
+        # Symmetric load through one receiver: completions within 25%.
+        assert times[1] / times[0] < 1.25
+
+    def test_fm2_many_message_sizes_still_fair(self):
+        finish, count = run_two_senders(2, msg_bytes=2048, n_messages=8)
+        times = sorted(finish.values())
+        assert times[1] / times[0] < 1.25
+
+
+class TestAsymmetricSharing:
+    def test_small_sender_not_starved_by_bulk_sender(self):
+        """One sender streams bulk data; the other sends small messages.
+        The small sender's completion must not degrade to the bulk
+        sender's timescale (FM 2.x interleaving + per-peer credits)."""
+        cluster = Cluster(3, machine=PPRO_FM2, fm_version=2)
+        finish = {}
+        count = {0: 0, 1: 0}
+        bulk_total, small_total = 10, 10
+
+        def handler(fm, stream, src):
+            yield from stream.receive_bytes(stream.msg_bytes)
+            count[src] += 1
+            target = bulk_total if src == 0 else small_total
+            if count[src] == target:
+                finish[src] = stream.fm.env.now
+
+        hid = {node.fm.register_handler(handler)
+               for node in cluster.nodes}.pop()
+
+        def bulk_sender(node):
+            buf = node.buffer(8192)
+            for _ in range(bulk_total):
+                yield from node.fm.send_buffer(2, hid, buf, 8192)
+
+        def small_sender(node):
+            buf = node.buffer(64)
+            for _ in range(small_total):
+                yield from node.fm.send_buffer(2, hid, buf, 64)
+
+        def receiver(node):
+            while len(finish) < 2:
+                got = yield from node.fm.extract()
+                if not got:
+                    yield node.env.timeout(500)
+
+        cluster.run([bulk_sender, small_sender, receiver])
+        # The small sender's ten 64-byte messages finish much sooner than
+        # the bulk sender's 80 KB.
+        assert finish[1] < finish[0] * 0.6

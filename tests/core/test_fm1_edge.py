@@ -1,0 +1,157 @@
+"""FM 1.x edge cases: fast path economics, extract valve, handler errors,
+and host CPU sharing between co-resident programs."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.configs import SPARC_FM1
+from repro.core.fm1.api import SEND4_BYTES
+
+
+class TestSend4Economics:
+    def test_fast_path_cheaper_than_general_send(self, fm1_cluster):
+        """FM_send_4 exists because the short path skips the general
+        per-message machinery; the CPU cost difference must be real."""
+        log = []
+
+        def handler(fm, src, staging, nbytes):
+            log.append(nbytes)
+            return
+            yield  # pragma: no cover
+
+        hid = {n.fm.register_handler(handler) for n in fm1_cluster.nodes}.pop()
+        costs = {}
+
+        def sender(node):
+            buf = node.buffer(SEND4_BYTES)
+            start = node.cpu.busy_ns
+            yield from node.fm.send_4(1, hid, buf.read())
+            costs["send_4"] = node.cpu.busy_ns - start
+            start = node.cpu.busy_ns
+            yield from node.fm.send(1, hid, buf, SEND4_BYTES)
+            costs["send"] = node.cpu.busy_ns - start
+
+        def receiver(node):
+            while len(log) < 2:
+                got = yield from node.fm.extract()
+                if not got:
+                    yield node.env.timeout(500)
+
+        fm1_cluster.run([sender, receiver])
+        assert costs["send_4"] < costs["send"]
+        # The saving is exactly the per-message bookkeeping.
+        saving = costs["send"] - costs["send_4"]
+        assert saving == SPARC_FM1.cpu.per_message_ns
+
+
+class TestExtractValve:
+    def test_max_packets_limits_processing(self, fm1_cluster):
+        log = []
+
+        def handler(fm, src, staging, nbytes):
+            log.append(nbytes)
+            return
+            yield  # pragma: no cover
+
+        hid = {n.fm.register_handler(handler) for n in fm1_cluster.nodes}.pop()
+
+        def sender(node):
+            buf = node.buffer(64)
+            for _ in range(6):
+                yield from node.fm.send(1, hid, buf, 64)
+
+        counts = []
+
+        def receiver(node):
+            yield node.env.timeout(300_000)     # let everything arrive
+            handled = yield from node.fm.extract(max_packets=2)
+            counts.append(handled)
+            while len(log) < 6:
+                got = yield from node.fm.extract()
+                if not got:
+                    yield node.env.timeout(500)
+
+        fm1_cluster.run([sender, receiver])
+        assert counts[0] == 2
+        assert len(log) == 6
+
+
+class TestHandlerErrors:
+    def test_handler_exception_fails_extract(self, fm1_cluster):
+        def handler(fm, src, staging, nbytes):
+            raise KeyError("fm1 handler bug")
+            yield  # pragma: no cover
+
+        hid = {n.fm.register_handler(handler) for n in fm1_cluster.nodes}.pop()
+
+        def sender(node):
+            buf = node.buffer(8)
+            yield from node.fm.send(1, hid, buf, 8)
+
+        def receiver(node):
+            while True:
+                got = yield from node.fm.extract()
+                if not got:
+                    yield node.env.timeout(500)
+
+        with pytest.raises(KeyError, match="fm1 handler bug"):
+            fm1_cluster.run([sender, receiver], until_ns=100_000_000)
+
+
+class TestHostCpuSharing:
+    def test_two_programs_on_one_node_serialise_on_the_cpu(self):
+        """Two logical threads on one host cannot overlap CPU time: their
+        combined busy time equals the CPU's busy counter, and the second
+        program's sends are delayed by the first's."""
+        cluster = Cluster(3, machine=SPARC_FM1, fm_version=1)
+        log = []
+
+        def handler(fm, src, staging, nbytes):
+            log.append(src)
+            return
+            yield  # pragma: no cover
+
+        hid = {n.fm.register_handler(handler) for n in cluster.nodes}.pop()
+        node0 = cluster.node(0)
+        finished = {}
+
+        def make_worker(name):
+            def worker(node):
+                buf = node.buffer(256)
+                for _ in range(5):
+                    yield from node.fm.send(1, hid, buf, 256)
+                finished[name] = node.env.now
+            return worker
+
+        def receiver(node):
+            while len(log) < 10:
+                got = yield from node.fm.extract()
+                if not got:
+                    yield node.env.timeout(500)
+
+        # Spawn both workers on node 0 plus the receiver on node 1.
+        cluster.spawn(make_worker("a"), 0)
+        cluster.spawn(make_worker("b"), 0)
+        done = cluster.spawn(receiver, 1)
+        cluster.env.run(until=done)
+
+        solo = Cluster(3, machine=SPARC_FM1, fm_version=1)
+        hid2 = {n.fm.register_handler(handler) for n in solo.nodes}.pop()
+        solo_log = []
+
+        def solo_handler_receiver(node):
+            while node.fm.stats_recv_messages < 5:
+                got = yield from node.fm.extract()
+                if not got:
+                    yield node.env.timeout(500)
+
+        def solo_worker(node):
+            buf = node.buffer(256)
+            for _ in range(5):
+                yield from node.fm.send(1, hid2, buf, 256)
+            solo_log.append(node.env.now)
+
+        solo.run([solo_worker, solo_handler_receiver])
+        # Sharing one CPU roughly doubles the time to push the same load.
+        shared_time = max(finished.values())
+        assert shared_time > 1.6 * solo_log[0]

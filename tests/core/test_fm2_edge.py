@@ -1,0 +1,159 @@
+"""FM 2.x edge cases: handler failures, concurrent send streams,
+re-entrancy, statistics."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.configs import PPRO_FM2
+from repro.core.common import FmProtocolError
+
+
+class TestHandlerFailures:
+    def test_handler_exception_propagates_to_extract(self, fm2_cluster):
+        def handler(fm, stream, src):
+            yield from stream.receive_bytes(4)
+            raise RuntimeError("handler blew up")
+
+        hid = {n.fm.register_handler(handler) for n in fm2_cluster.nodes}.pop()
+
+        def sender(node):
+            buf = node.buffer(16)
+            yield from node.fm.send_buffer(1, hid, buf, 16)
+
+        def receiver(node):
+            while True:
+                got = yield from node.fm.extract()
+                if not got:
+                    yield node.env.timeout(500)
+
+        with pytest.raises(RuntimeError, match="handler blew up"):
+            fm2_cluster.run([sender, receiver], until_ns=100_000_000)
+
+    def test_handler_protocol_misuse_propagates(self, fm2_cluster):
+        def handler(fm, stream, src):
+            yield from stream.receive_bytes(stream.msg_bytes + 5)
+
+        hid = {n.fm.register_handler(handler) for n in fm2_cluster.nodes}.pop()
+
+        def sender(node):
+            buf = node.buffer(8)
+            yield from node.fm.send_buffer(1, hid, buf, 8)
+
+        def receiver(node):
+            while True:
+                got = yield from node.fm.extract()
+                if not got:
+                    yield node.env.timeout(500)
+
+        with pytest.raises(FmProtocolError, match="exceeds"):
+            fm2_cluster.run([sender, receiver], until_ns=100_000_000)
+
+
+class TestConcurrentSendStreams:
+    def test_two_open_streams_to_different_destinations(self):
+        """FM 2.x allows interleaving pieces of messages to different
+        destinations — each stream keeps its own packet state."""
+        cluster = Cluster(3, machine=PPRO_FM2, fm_version=2)
+        out = {}
+
+        def handler(fm, stream, src):
+            out[stream.fm.node_id] = (yield from
+                                      stream.receive_bytes(stream.msg_bytes))
+
+        hid = {n.fm.register_handler(handler) for n in cluster.nodes}.pop()
+        payload_a = bytes([1]) * 1500
+        payload_b = bytes([2]) * 1500
+
+        def sender(node):
+            buf_a = node.buffer(1500, fill=payload_a)
+            buf_b = node.buffer(1500, fill=payload_b)
+            stream_a = yield from node.fm.begin_message(1, 1500, hid)
+            stream_b = yield from node.fm.begin_message(2, 1500, hid)
+            # Interleave pieces of the two messages.
+            yield from node.fm.send_piece(stream_a, buf_a, 0, 700)
+            yield from node.fm.send_piece(stream_b, buf_b, 0, 900)
+            yield from node.fm.send_piece(stream_a, buf_a, 700, 800)
+            yield from node.fm.send_piece(stream_b, buf_b, 900, 600)
+            yield from node.fm.end_message(stream_b)
+            yield from node.fm.end_message(stream_a)
+
+        def make_receiver(me):
+            def receiver(node):
+                while me not in out:
+                    got = yield from node.fm.extract()
+                    if not got:
+                        yield node.env.timeout(500)
+            return receiver
+
+        cluster.run([sender, make_receiver(1), make_receiver(2)])
+        assert out[1] == payload_a
+        assert out[2] == payload_b
+
+    def test_two_open_streams_to_same_destination(self, fm2_cluster):
+        """Two interleaved messages to one destination demultiplex by
+        message id on the receive side."""
+        out = []
+
+        def handler(fm, stream, src):
+            out.append((yield from stream.receive_bytes(stream.msg_bytes)))
+
+        hid = {n.fm.register_handler(handler)
+               for n in fm2_cluster.nodes}.pop()
+        first = bytes([7]) * 1200
+        second = bytes([9]) * 1200
+
+        def sender(node):
+            buf1 = node.buffer(1200, fill=first)
+            buf2 = node.buffer(1200, fill=second)
+            s1 = yield from node.fm.begin_message(1, 1200, hid)
+            s2 = yield from node.fm.begin_message(1, 1200, hid)
+            yield from node.fm.send_piece(s1, buf1, 0, 600)
+            yield from node.fm.send_piece(s2, buf2, 0, 1200)
+            yield from node.fm.end_message(s2)
+            yield from node.fm.send_piece(s1, buf1, 600, 600)
+            yield from node.fm.end_message(s1)
+
+        def receiver(node):
+            while len(out) < 2:
+                got = yield from node.fm.extract()
+                if not got:
+                    yield node.env.timeout(500)
+
+        fm2_cluster.run([sender, receiver])
+        assert sorted(out) == sorted([first, second])
+
+
+class TestStatistics:
+    def test_message_and_packet_counters(self, fm2_cluster):
+        done = []
+
+        def handler(fm, stream, src):
+            yield from stream.receive_bytes(stream.msg_bytes)
+            done.append(1)
+
+        hid = {n.fm.register_handler(handler)
+               for n in fm2_cluster.nodes}.pop()
+        packet = fm2_cluster.fm_params.packet_payload
+
+        def sender(node):
+            buf = node.buffer(packet * 3)
+            for _ in range(4):
+                yield from node.fm.send_buffer(1, hid, buf, packet * 3)
+
+        def receiver(node):
+            while len(done) < 4:
+                got = yield from node.fm.extract()
+                if not got:
+                    yield node.env.timeout(500)
+
+        fm2_cluster.run([sender, receiver])
+        fm0, fm1 = fm2_cluster.node(0).fm, fm2_cluster.node(1).fm
+        assert fm0.stats_sent_messages == 4
+        assert fm0.stats_sent_packets >= 12      # 3 data packets x 4 (+credits)
+        assert fm1.stats_recv_messages == 4
+        assert fm1.stats_recv_packets == 12
+
+    def test_repr_smoke(self, fm2_cluster):
+        assert "FM2" in repr(fm2_cluster.node(0).fm)
+        assert "Cluster" in repr(fm2_cluster)
+        assert "Node" in repr(fm2_cluster.node(0))

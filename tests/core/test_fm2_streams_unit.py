@@ -1,0 +1,108 @@
+"""Unit-level accessors and state of the FM 2.x stream objects."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.configs import PPRO_FM2
+from repro.core.common import FmProtocolError
+from repro.core.fm2.stream import RecvStream, SendStream
+
+
+class TestSendStreamState:
+    def test_remaining_tracks_pushes(self, fm2_cluster):
+        node = fm2_cluster.node(0)
+        hid = node.fm.register_handler(lambda fm, s, src: iter(()))
+
+        def program(n):
+            buf = n.buffer(300)
+            stream = yield from n.fm.begin_message(1, 300, hid)
+            assert stream.remaining == 300
+            yield from n.fm.send_piece(stream, buf, 0, 120)
+            assert stream.remaining == 180
+            yield from n.fm.send_piece(stream, buf, 120, 180)
+            assert stream.remaining == 0
+            yield from n.fm.end_message(stream)
+            assert stream.closed
+            return stream.msg_id
+
+        msg_id = fm2_cluster.run([program, None])[0]
+        assert msg_id == 0
+
+    def test_negative_piece_rejected(self, fm2_cluster):
+        node = fm2_cluster.node(0)
+        hid = node.fm.register_handler(lambda fm, s, src: iter(()))
+
+        def program(n):
+            buf = n.buffer(10)
+            stream = yield from n.fm.begin_message(1, 10, hid)
+            yield from n.fm.send_piece(stream, buf, 0, -1)
+
+        with pytest.raises(FmProtocolError, match="negative"):
+            fm2_cluster.run([program, None])
+
+    def test_msg_ids_sequential_per_destination(self, fm2_cluster):
+        def noop_handler(fm, stream, src):
+            return
+            yield  # pragma: no cover - generator marker
+
+        hid = {n.fm.register_handler(noop_handler)
+               for n in fm2_cluster.nodes}.pop()
+
+        def program(n):
+            ids = []
+            for _ in range(3):
+                stream = yield from n.fm.begin_message(1, 0, hid)
+                ids.append(stream.msg_id)
+                yield from n.fm.end_message(stream)
+            return ids
+
+        # Receiver must drain so the run terminates cleanly.
+        def receiver(n):
+            while n.fm.stats_recv_messages < 3:
+                got = yield from n.fm.extract()
+                if not got:
+                    yield n.env.timeout(500)
+
+        ids = fm2_cluster.run([program, receiver])[0]
+        assert ids == [0, 1, 2]
+
+
+class TestRecvStreamState:
+    def test_progress_accessors_during_receive(self, fm2_cluster):
+        observations = []
+
+        def handler(fm, stream, src):
+            observations.append(("at-start", stream.available(),
+                                 stream.remaining))
+            yield from stream.receive_bytes(100)
+            observations.append(("after-100", stream.consumed_bytes,
+                                 stream.remaining))
+            yield from stream.receive_bytes(stream.msg_bytes - 100)
+            observations.append(("at-end", stream.consumed_bytes,
+                                 stream.complete))
+
+        hid = {n.fm.register_handler(handler)
+               for n in fm2_cluster.nodes}.pop()
+        size = 2500
+
+        def sender(node):
+            buf = node.buffer(size)
+            yield from node.fm.send_buffer(1, hid, buf, size)
+
+        def receiver(node):
+            while len(observations) < 3:
+                got = yield from node.fm.extract()
+                if not got:
+                    yield node.env.timeout(500)
+
+        fm2_cluster.run([sender, receiver])
+        label, available, remaining = observations[0]
+        assert remaining == size
+        assert available <= size
+        assert observations[1] == ("after-100", 100, size - 100)
+        assert observations[2] == ("at-end", size, True)
+
+    def test_repr_smoke(self, fm2_cluster):
+        stream = SendStream(fm2_cluster.node(0).fm, 1, 0, 10)
+        assert "10" in repr(RecvStream(fm2_cluster.node(1).fm, 0, 0, 0, 10))
+        assert stream.msg_bytes == 10

@@ -1,0 +1,109 @@
+"""Shared FM machinery: params, handler table, credits."""
+
+import pytest
+
+from repro.core.common import FmParams, FmProtocolError, HandlerTable
+from repro.cluster import Cluster
+from repro.configs import PPRO_FM2
+
+
+class TestFmParams:
+    def test_defaults_valid(self):
+        params = FmParams(packet_payload=128)
+        assert params.credits_per_peer >= 1
+
+    def test_packet_payload_validated(self):
+        with pytest.raises(ValueError):
+            FmParams(packet_payload=0)
+
+    def test_credit_batch_bounds(self):
+        with pytest.raises(ValueError):
+            FmParams(packet_payload=128, credits_per_peer=4, credit_batch=5)
+        with pytest.raises(ValueError):
+            FmParams(packet_payload=128, credit_batch=0)
+
+    @pytest.mark.parametrize("nbytes,expected", [
+        (0, 1), (1, 1), (128, 1), (129, 2), (256, 2), (1000, 8),
+    ])
+    def test_packets_for(self, nbytes, expected):
+        assert FmParams(packet_payload=128).packets_for(nbytes) == expected
+
+
+class TestHandlerTable:
+    def test_register_returns_sequential_ids(self):
+        table = HandlerTable()
+        def h1(): pass
+        def h2(): pass
+        assert table.register(h1) == 0
+        assert table.register(h2) == 1
+        assert table.lookup(0) is h1
+        assert len(table) == 2
+
+    def test_lookup_unknown_id(self):
+        with pytest.raises(FmProtocolError):
+            HandlerTable().lookup(0)
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(TypeError):
+            HandlerTable().register(42)
+
+
+class TestCreditLedger:
+    def test_initial_credits(self, fm2_cluster):
+        fm = fm2_cluster.node(0).fm
+        assert fm.credits_available(1) == fm.params.credits_per_peer
+        assert fm.outstanding_credits(1) == 0
+
+    def test_msg_ids_monotonic_per_peer(self, fm2_cluster):
+        fm = fm2_cluster.node(0).fm
+        assert [fm.alloc_msg_id(1) for _ in range(3)] == [0, 1, 2]
+        assert fm.alloc_msg_id(0) == 0   # independent per destination
+
+    def test_credits_spent_per_packet(self, fm2_cluster):
+        cluster = fm2_cluster
+        fm0 = cluster.node(0).fm
+        def handler(fm, stream, src):
+            yield from stream.receive_bytes(stream.msg_bytes)
+        hid = [n.fm.register_handler(handler) for n in cluster.nodes][0]
+        payload_packets = 3
+        size = cluster.fm_params.packet_payload * payload_packets
+
+        def sender(node):
+            buf = node.buffer(size)
+            yield from node.fm.send_buffer(1, hid, buf, size)
+
+        cluster.run([sender, None])
+        assert fm0.outstanding_credits(1) == payload_packets
+
+    def test_credits_return_after_extract(self, fm2_cluster):
+        cluster = fm2_cluster
+        fm0 = cluster.node(0).fm
+        done = []
+        def handler(fm, stream, src):
+            yield from stream.receive_bytes(stream.msg_bytes)
+            done.append(1)
+        hid = [n.fm.register_handler(handler) for n in cluster.nodes][0]
+        size = cluster.fm_params.packet_payload * cluster.fm_params.credit_batch
+
+        def sender(node):
+            buf = node.buffer(size)
+            yield from node.fm.send_buffer(1, hid, buf, size)
+
+        def receiver(node):
+            while not done:
+                got = yield from node.fm.extract()
+                if not got:
+                    yield node.env.timeout(500)
+            # Give the credit-return packet time to fly back.
+            yield node.env.timeout(50_000)
+
+        cluster.run([sender, receiver])
+        assert fm0.outstanding_credits(1) == 0
+        assert cluster.node(1).fm.stats_credit_packets >= 1
+
+    def test_credit_overflow_detected(self, fm2_cluster):
+        fm = fm2_cluster.node(0).fm
+        # Forge an over-return in the NIC mailbox.
+        fm.nic.credit_mailbox[1] = fm.params.credits_per_peer + 1
+        with pytest.raises(FmProtocolError, match="credit overflow"):
+            fm.credits_available(1)

@@ -1,0 +1,169 @@
+"""Host CPU, I/O bus and DMA engines: cost charging and contention."""
+
+import pytest
+
+from repro.hardware.bus import IoBus
+from repro.hardware.cpu import HostCpu
+from repro.hardware.dma import DmaEngine
+from repro.hardware.memory import Buffer
+from repro.hardware.params import BusParams, CpuParams
+
+CPU = CpuParams(clock_hz=200e6, memcpy_bw=100e6, memcpy_startup_ns=100,
+                call_ns=50, poll_ns=30, per_packet_ns=200, per_message_ns=700)
+BUS = BusParams(pio_bw=80e6, pio_startup_ns=200, dma_bw=100e6,
+                dma_startup_ns=500)
+
+
+def run_gen(env, gen):
+    proc = env.process(gen)
+    env.run(until=proc)
+    return env.now
+
+
+class TestHostCpu:
+    def test_execute_charges_time(self, env):
+        cpu = HostCpu(env, CPU)
+        assert run_gen(env, cpu.execute(1234)) == 1234
+        assert cpu.busy_ns == 1234
+
+    def test_negative_cost_rejected(self, env):
+        cpu = HostCpu(env, CPU)
+        with pytest.raises(ValueError):
+            run_gen(env, cpu.execute(-1))
+
+    def test_memcpy_moves_data_and_charges(self, env):
+        cpu = HostCpu(env, CPU)
+        src = Buffer.from_bytes(b"x" * 1000)
+        dst = Buffer(1000)
+        run_gen(env, cpu.memcpy(src, 0, dst, 0, 1000, label="test"))
+        assert dst.read() == b"x" * 1000
+        # 100 ns startup + 1000 B at 100 MB/s = 10 us.
+        assert env.now == 100 + 10_000
+        assert cpu.meter.bytes_for("test") == 1000
+
+    def test_memcpy_cost_matches_memcpy(self, env):
+        cpu = HostCpu(env, CPU)
+        src, dst = Buffer(64), Buffer(64)
+        run_gen(env, cpu.memcpy(src, 0, dst, 0, 64))
+        assert env.now == cpu.memcpy_cost(64)
+
+    def test_named_costs(self, env):
+        cpu = HostCpu(env, CPU)
+        assert run_gen(env, cpu.call()) == 50
+        env2_total = env.now
+        run_gen(env, cpu.poll())
+        assert env.now == env2_total + 30
+
+    def test_lock_serialises_two_threads(self, env):
+        cpu = HostCpu(env, CPU)
+        log = []
+        def worker(name):
+            yield from cpu.execute(100)
+            log.append((name, env.now))
+        env.process(worker("a"))
+        env.process(worker("b"))
+        env.run()
+        assert log == [("a", 100), ("b", 200)]
+
+    def test_cycles_conversion(self):
+        assert CPU.cycles(200) == 1000  # 200 cycles at 200 MHz = 1 us
+
+
+class TestIoBus:
+    def test_pio_occupies_cpu_and_bus(self, env):
+        cpu = HostCpu(env, CPU)
+        bus = IoBus(env, BUS)
+        run_gen(env, bus.pio_write(cpu, 800))
+        # 200 startup + 800 B at 80 MB/s (10 us).
+        assert env.now == 200 + 10_000
+        assert cpu.busy_ns == env.now
+        assert bus.pio_bytes == 800
+
+    def test_pio_blocks_other_cpu_work(self, env):
+        cpu = HostCpu(env, CPU)
+        bus = IoBus(env, BUS)
+        log = []
+        def pio_worker():
+            yield from bus.pio_write(cpu, 800)
+            log.append(("pio", env.now))
+        def cpu_worker():
+            yield from cpu.execute(10)
+            log.append(("cpu", env.now))
+        env.process(pio_worker())
+        env.process(cpu_worker())
+        env.run()
+        assert log == [("pio", 10_200), ("cpu", 10_210)]
+
+    def test_dma_leaves_cpu_free(self, env):
+        cpu = HostCpu(env, CPU)
+        bus = IoBus(env, BUS)
+        log = []
+        def dma_worker():
+            yield from bus.dma_transfer(1000)
+            log.append(("dma", env.now))
+        def cpu_worker():
+            yield from cpu.execute(100)
+            log.append(("cpu", env.now))
+        env.process(dma_worker())
+        env.process(cpu_worker())
+        env.run()
+        # CPU work completes during the DMA.
+        assert log == [("cpu", 100), ("dma", 10_500)]
+
+    def test_pio_and_dma_contend_for_bus(self, env):
+        cpu = HostCpu(env, CPU)
+        bus = IoBus(env, BUS)
+        done = []
+        def dma_worker():
+            yield from bus.dma_transfer(1000)   # 10.5 us
+            done.append(("dma", env.now))
+        def pio_worker():
+            yield from bus.pio_write(cpu, 80)   # 1.2 us, queued behind DMA
+            done.append(("pio", env.now))
+        env.process(dma_worker())
+        env.process(pio_worker())
+        env.run()
+        assert done[0][0] == "dma"
+        assert done[1][1] == 10_500 + 200 + 1_000
+
+    def test_cost_helpers(self, env):
+        bus = IoBus(env, BUS)
+        assert bus.pio_cost(80) == 200 + 1000
+        assert bus.dma_cost(100) == 500 + 1000
+
+    def test_negative_sizes_rejected(self, env):
+        cpu = HostCpu(env, CPU)
+        bus = IoBus(env, BUS)
+        with pytest.raises(ValueError):
+            run_gen(env, bus.pio_write(cpu, -1))
+        with pytest.raises(ValueError):
+            run_gen(env, bus.dma_transfer(-1))
+
+
+class TestDmaEngine:
+    def test_transfers_serialise_on_channel(self, env):
+        bus = IoBus(env, BUS)
+        engine = DmaEngine(env, bus)
+        times = []
+        def worker():
+            yield from engine.transfer(1000)
+            times.append(env.now)
+        env.process(worker())
+        env.process(worker())
+        env.run()
+        assert times == [10_500, 21_000]
+        assert engine.transfers == 2
+        assert engine.bytes == 2000
+
+    def test_two_engines_share_bus(self, env):
+        bus = IoBus(env, BUS)
+        first, second = DmaEngine(env, bus, "a"), DmaEngine(env, bus, "b")
+        times = []
+        def worker(engine):
+            yield from engine.transfer(1000)
+            times.append(env.now)
+        env.process(worker(first))
+        env.process(worker(second))
+        env.run()
+        # Bus arbitration serialises them even across engines.
+        assert times == [10_500, 21_000]

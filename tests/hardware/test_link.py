@@ -1,0 +1,170 @@
+"""Links: serialisation timing, ordering, back-pressure, fault injection."""
+
+import pytest
+
+from repro.simkernel import Environment, Store
+from repro.hardware.link import Link
+from repro.hardware.packet import HEADER_BYTES, Packet, PacketFlags, PacketHeader
+from repro.hardware.params import LinkParams
+
+PARAMS = LinkParams(bandwidth=160e6, propagation_ns=100, slots=2)
+
+
+def make_packet(seq=0, payload=b"x" * 16):
+    header = PacketHeader(src=0, dest=1, handler_id=0, msg_id=0, seq=seq,
+                          msg_bytes=len(payload))
+    return Packet(header, payload)
+
+
+def wired_link(env, params=PARAMS):
+    link = Link(env, params, name="test-link")
+    sink = Store(env)
+    link.connect(sink)
+    link.start()
+    return link, sink
+
+
+class TestTiming:
+    def test_single_packet_arrival_time(self, env):
+        link, sink = wired_link(env)
+        packet = make_packet()
+        def sender():
+            yield link.ingress.put(packet)
+        env.process(sender())
+        def receiver():
+            item = yield sink.get()
+            return (item, env.now)
+        proc = env.process(receiver())
+        received, at = env.run(until=proc)
+        assert received is packet
+        # wire time = (16+16)B at 160 MB/s = 200 ns, + 100 propagation.
+        assert at == 200 + 100
+
+    def test_pipelined_packets_spaced_by_wire_time(self, env):
+        link, sink = wired_link(env)
+        def sender():
+            for seq in range(3):
+                yield link.ingress.put(make_packet(seq))
+        env.process(sender())
+        arrivals = []
+        def receiver():
+            for _ in range(3):
+                yield sink.get()
+                arrivals.append(env.now)
+        proc = env.process(receiver())
+        env.run(until=proc)
+        assert arrivals == [300, 500, 700]  # propagation paid once
+
+    def test_counters(self, env):
+        link, sink = wired_link(env)
+        def sender():
+            yield link.ingress.put(make_packet())
+        env.process(sender())
+        env.run()
+        assert link.packets == 1
+        assert link.bytes == 16 + HEADER_BYTES
+
+
+class TestOrderingAndBackpressure:
+    def test_order_preserved(self, env):
+        link, sink = wired_link(env)
+        def sender():
+            for seq in range(10):
+                yield link.ingress.put(make_packet(seq))
+        env.process(sender())
+        seqs = []
+        def receiver():
+            for _ in range(10):
+                packet = yield sink.get()
+                seqs.append(packet.header.seq)
+        proc = env.process(receiver())
+        env.run(until=proc)
+        assert seqs == list(range(10))
+
+    def test_full_target_stalls_wire_without_loss(self, env):
+        link = Link(env, PARAMS, name="bp")
+        tight_sink = Store(env, capacity=1)
+        link.connect(tight_sink)
+        link.start()
+        n = 12
+        sent = []
+        def sender():
+            for seq in range(n):
+                yield link.ingress.put(make_packet(seq))
+                sent.append(env.now)
+        env.process(sender())
+        received = []
+        def receiver():
+            while len(received) < n:
+                yield env.timeout(5_000)   # slow consumer
+                item = tight_sink.try_get()
+                if item is not None:
+                    received.append(item.header.seq)
+        proc = env.process(receiver())
+        env.run(until=proc)
+        assert received == list(range(n))      # nothing dropped, in order
+        # Unimpeded, all 12 ingress puts would finish by ~12 wire times
+        # (2400 ns); with the consumer draining every 5 us, the bounded
+        # pipeline (ingress 2 + flight 2 + delivery 1 + sink 1) forces the
+        # sender to wait for consumer progress.
+        assert sent[-1] > 5_000
+
+    def test_connect_twice_rejected(self, env):
+        link = Link(env, PARAMS)
+        link.connect(Store(env))
+        with pytest.raises(RuntimeError):
+            link.connect(Store(env))
+
+    def test_start_before_connect_rejected(self, env):
+        with pytest.raises(RuntimeError):
+            Link(env, PARAMS).start()
+
+    def test_double_start_rejected(self, env):
+        link = Link(env, PARAMS)
+        link.connect(Store(env))
+        link.start()
+        with pytest.raises(RuntimeError):
+            link.start()
+
+
+class TestFaultInjection:
+    def test_no_corruption_by_default(self, env):
+        link, sink = wired_link(env)
+        def sender():
+            for seq in range(20):
+                yield link.ingress.put(make_packet(seq))
+        env.process(sender())
+        env.run()
+        assert link.corrupted == 0
+
+    def test_high_ber_corrupts_deterministically(self):
+        def run_once():
+            env = Environment()
+            link, sink = wired_link(env, LinkParams(
+                bandwidth=160e6, propagation_ns=100, slots=2,
+                bit_error_rate=1e-3))
+            def sender():
+                for seq in range(50):
+                    yield link.ingress.put(make_packet(seq))
+            env.process(sender())
+            env.run()
+            return link.corrupted
+        first, second = run_once(), run_once()
+        assert first > 0                      # errors do happen at 1e-3 BER
+        assert first == second                # and deterministically so
+
+    def test_corrupt_packets_fail_crc(self, env):
+        link, sink = wired_link(env, LinkParams(
+            bandwidth=160e6, propagation_ns=0, slots=4, bit_error_rate=0.999))
+        def sender():
+            yield link.ingress.put(make_packet())
+        env.process(sender())
+        env.run()
+        packet = sink.try_get()
+        assert packet.header.flags & PacketFlags.CORRUPT
+        assert not packet.crc_ok()
+
+    def test_invalid_ber_rejected(self):
+        with pytest.raises(ValueError):
+            LinkParams(bandwidth=1e6, propagation_ns=0, slots=1,
+                       bit_error_rate=1.5)

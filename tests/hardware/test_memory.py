@@ -1,0 +1,99 @@
+"""Buffers and copy metering."""
+
+import pytest
+
+from repro.hardware.memory import Buffer, CopyMeter, copy_bytes
+
+
+class TestBuffer:
+    def test_allocation_zeroed(self):
+        buf = Buffer(16)
+        assert buf.read() == bytes(16)
+        assert buf.size == len(buf) == 16
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Buffer(-1)
+
+    def test_from_bytes(self):
+        buf = Buffer.from_bytes(b"hello")
+        assert buf.read() == b"hello"
+
+    def test_fill_larger_than_size_rejected(self):
+        with pytest.raises(ValueError):
+            Buffer(2, fill=b"toolong")
+
+    def test_fill_shorter_pads(self):
+        buf = Buffer(6, fill=b"ab")
+        assert buf.read() == b"ab\x00\x00\x00\x00"
+
+    def test_read_slice(self):
+        buf = Buffer.from_bytes(b"0123456789")
+        assert buf.read(3, 4) == b"3456"
+        assert buf.read(offset=8) == b"89"
+
+    def test_write_at_offset(self):
+        buf = Buffer(8)
+        buf.write(b"XY", offset=3)
+        assert buf.read() == b"\x00\x00\x00XY\x00\x00\x00"
+
+    def test_read_returns_immutable_copy(self):
+        buf = Buffer.from_bytes(b"abc")
+        data = buf.read()
+        buf.write(b"zzz")
+        assert data == b"abc"
+
+    @pytest.mark.parametrize("offset,nbytes", [(-1, 2), (0, 99), (9, 2), (0, -1)])
+    def test_out_of_range_read(self, offset, nbytes):
+        buf = Buffer(10)
+        with pytest.raises(IndexError):
+            buf.read(offset, nbytes)
+
+    def test_out_of_range_write(self):
+        buf = Buffer(4)
+        with pytest.raises(IndexError):
+            buf.write(b"12345")
+
+    def test_zero_size_buffer(self):
+        buf = Buffer(0)
+        assert buf.read() == b""
+
+    def test_pinned_flag_in_repr(self):
+        assert "pinned" in repr(Buffer(1, pinned=True))
+
+
+class TestCopyMeter:
+    def test_counts_and_bytes(self):
+        meter = CopyMeter()
+        meter.record(100, "a")
+        meter.record(50, "a")
+        meter.record(10, "b")
+        assert meter.copies == 3
+        assert meter.bytes == 160
+        assert meter.bytes_for("a") == 150
+        assert meter.bytes_for("missing") == 0
+        assert meter.labels() == ["a", "b"]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CopyMeter().record(-1)
+
+    def test_reset(self):
+        meter = CopyMeter()
+        meter.record(5, "x")
+        meter.reset()
+        assert meter.copies == 0 and meter.bytes == 0 and meter.labels() == []
+
+
+class TestCopyBytes:
+    def test_moves_data(self):
+        src = Buffer.from_bytes(b"ABCDEFGH")
+        dst = Buffer(8)
+        copy_bytes(src, 2, dst, 4, 3)
+        assert dst.read() == b"\x00\x00\x00\x00CDE\x00"
+
+    def test_bounds_enforced(self):
+        src = Buffer(4)
+        dst = Buffer(4)
+        with pytest.raises(IndexError):
+            copy_bytes(src, 0, dst, 2, 3)

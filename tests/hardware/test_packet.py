@@ -1,0 +1,72 @@
+"""Packet headers, flags, CRC."""
+
+import pytest
+
+from repro.hardware.packet import (
+    HEADER_BYTES,
+    Packet,
+    PacketFlags,
+    PacketHeader,
+    compute_crc,
+)
+
+
+def make_header(**overrides):
+    defaults = dict(src=0, dest=1, handler_id=0, msg_id=0, seq=0, msg_bytes=10)
+    defaults.update(overrides)
+    return PacketHeader(**defaults)
+
+
+class TestHeader:
+    def test_flags_predicates(self):
+        header = make_header(flags=PacketFlags.FIRST | PacketFlags.LAST)
+        assert header.is_first and header.is_last and not header.is_control
+
+    def test_control_flag(self):
+        assert make_header(flags=PacketFlags.CONTROL).is_control
+
+    def test_negative_node_rejected(self):
+        with pytest.raises(ValueError):
+            make_header(src=-1)
+
+    def test_negative_seq_rejected(self):
+        with pytest.raises(ValueError):
+            make_header(seq=-2)
+
+
+class TestPacket:
+    def test_wire_size_includes_header(self):
+        packet = Packet(make_header(), b"12345")
+        assert packet.wire_bytes == HEADER_BYTES + 5
+        assert packet.payload_bytes == 5
+
+    def test_payload_coerced_to_bytes(self):
+        packet = Packet(make_header(), bytearray(b"abc"))
+        assert isinstance(packet.payload, bytes)
+
+    def test_non_bytes_payload_rejected(self):
+        with pytest.raises(TypeError):
+            Packet(make_header(), "string")
+
+    def test_crc_auto_computed_and_valid(self):
+        packet = Packet(make_header(), b"payload")
+        assert packet.crc == compute_crc(b"payload")
+        assert packet.crc_ok()
+
+    def test_corrupt_flag_fails_crc(self):
+        packet = Packet(make_header(), b"payload")
+        packet.header.flags |= PacketFlags.CORRUPT
+        assert not packet.crc_ok()
+
+    def test_mismatched_crc_fails(self):
+        packet = Packet(make_header(), b"payload")
+        packet.payload = b"tampered"
+        assert not packet.crc_ok()
+
+    def test_empty_payload(self):
+        packet = Packet(make_header(msg_bytes=0), b"")
+        assert packet.wire_bytes == HEADER_BYTES
+        assert packet.crc_ok()
+
+    def test_crc_distinguishes_payloads(self):
+        assert compute_crc(b"a") != compute_crc(b"b")

@@ -1,0 +1,154 @@
+"""Switches: source-route decoding, contention, errors."""
+
+import pytest
+
+from repro.simkernel import Store
+from repro.hardware.link import Link
+from repro.hardware.packet import Packet, PacketHeader
+from repro.hardware.params import LinkParams, SwitchParams
+from repro.hardware.switch import RoutingError, Switch
+
+LINK = LinkParams(bandwidth=160e6, propagation_ns=50, slots=2)
+SW = SwitchParams(routing_ns=300, port_buffer_slots=2)
+
+
+def make_packet(route, payload=b"p" * 16, src=0, dest=1):
+    header = PacketHeader(src=src, dest=dest, handler_id=0, msg_id=0, seq=0,
+                          msg_bytes=len(payload))
+    return Packet(header, payload, route=list(route))
+
+
+def build_switch(env, n_ports=3):
+    """Switch with a link+sink on every output port."""
+    switch = Switch(env, n_ports, SW, name="sw")
+    sinks = []
+    for port in range(n_ports):
+        link = Link(env, LINK, name=f"out{port}")
+        sink = Store(env)
+        link.connect(sink)
+        switch.connect_out(port, link)
+        link.start()
+        sinks.append(sink)
+    switch.start()
+    return switch, sinks
+
+
+class TestRouting:
+    def test_routes_to_named_port(self, env):
+        switch, sinks = build_switch(env)
+        def inject():
+            yield switch.in_ports[0].put(make_packet([2]))
+        env.process(inject())
+        env.run()
+        assert sinks[2].try_get() is not None
+        assert sinks[1].try_get() is None
+
+    def test_route_consumed_per_hop(self, env):
+        switch, sinks = build_switch(env)
+        packet = make_packet([1, 7])   # 7 would be for a next switch
+        def inject():
+            yield switch.in_ports[0].put(packet)
+        env.process(inject())
+        env.run()
+        delivered = sinks[1].try_get()
+        assert delivered.route == [7]
+
+    def test_routing_cost_charged(self, env):
+        switch, sinks = build_switch(env)
+        def inject():
+            yield switch.in_ports[0].put(make_packet([0]))
+        env.process(inject())
+        def receiver():
+            yield sinks[0].get()
+            return env.now
+        proc = env.process(receiver())
+        at = env.run(until=proc)
+        # routing 300 + wire 200 + propagation 50
+        assert at == 300 + 200 + 50
+
+    def test_empty_route_is_error(self, env):
+        switch, _sinks = build_switch(env)
+        def inject():
+            yield switch.in_ports[0].put(make_packet([]))
+        env.process(inject())
+        with pytest.raises(RoutingError, match="empty route"):
+            env.run()
+
+    def test_invalid_port_is_error(self, env):
+        switch, _sinks = build_switch(env)
+        def inject():
+            yield switch.in_ports[0].put(make_packet([9]))
+        env.process(inject())
+        with pytest.raises(RoutingError, match="invalid port"):
+            env.run()
+
+    def test_unconnected_port_is_error(self, env):
+        switch = Switch(env, 2, SW)
+        link = Link(env, LINK)
+        link.connect(Store(env))
+        switch.connect_out(0, link)
+        link.start()
+        switch.start()
+        def inject():
+            yield switch.in_ports[0].put(make_packet([1]))
+        env.process(inject())
+        with pytest.raises(RoutingError, match="unconnected"):
+            env.run()
+
+
+class TestContention:
+    def test_two_inputs_one_output_serialise(self, env):
+        switch, sinks = build_switch(env)
+        def inject(port):
+            yield switch.in_ports[port].put(make_packet([2], src=port))
+        env.process(inject(0))
+        env.process(inject(1))
+        arrivals = []
+        def receiver():
+            for _ in range(2):
+                packet = yield sinks[2].get()
+                arrivals.append((packet.header.src, env.now))
+        proc = env.process(receiver())
+        env.run(until=proc)
+        assert len(arrivals) == 2
+        # Output link serialises: second arrival one wire-time later.
+        assert arrivals[1][1] - arrivals[0][1] == 200
+
+    def test_per_path_fifo(self, env):
+        switch, sinks = build_switch(env)
+        def inject():
+            for seq in range(5):
+                packet = make_packet([1])
+                packet.header = PacketHeader(src=0, dest=1, handler_id=0,
+                                             msg_id=0, seq=seq, msg_bytes=16)
+                yield switch.in_ports[0].put(packet)
+        env.process(inject())
+        seqs = []
+        def receiver():
+            for _ in range(5):
+                packet = yield sinks[1].get()
+                seqs.append(packet.header.seq)
+        proc = env.process(receiver())
+        env.run(until=proc)
+        assert seqs == list(range(5))
+
+
+class TestValidation:
+    def test_port_bounds(self, env):
+        with pytest.raises(ValueError):
+            Switch(env, 0, SW)
+        switch = Switch(env, 2, SW)
+        with pytest.raises(ValueError):
+            switch.connect_out(5, Link(env, LINK))
+
+    def test_double_connect_rejected(self, env):
+        switch = Switch(env, 2, SW)
+        switch.connect_out(0, Link(env, LINK))
+        with pytest.raises(RuntimeError):
+            switch.connect_out(0, Link(env, LINK))
+
+    def test_double_start_rejected(self, env):
+        switch = Switch(env, 1, SW)
+        switch.start()
+        with pytest.raises(RuntimeError):
+            switch.start()

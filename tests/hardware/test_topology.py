@@ -1,0 +1,140 @@
+"""Topologies: builders, port numbering, source routes."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware.topology import (
+    Topology,
+    fat_tree_2level,
+    host_node,
+    single_switch,
+    switch_chain,
+    switch_node,
+)
+
+
+class TestBuilders:
+    def test_single_switch_shape(self):
+        topo = single_switch(4)
+        assert topo.n_hosts == 4
+        assert topo.n_switches == 1
+        assert topo.switch_degree(0) == 4
+
+    def test_single_switch_minimum(self):
+        with pytest.raises(ValueError):
+            single_switch(1)
+
+    def test_chain_switch_count(self):
+        topo = switch_chain(10, hosts_per_switch=4)
+        assert topo.n_switches == 3
+        assert topo.n_hosts == 10
+
+    def test_fat_tree_shape(self):
+        topo = fat_tree_2level(n_leaf_switches=3, hosts_per_leaf=2, n_spines=2)
+        assert topo.n_hosts == 6
+        assert topo.n_switches == 5
+        # Each leaf connects its hosts plus every spine.
+        assert topo.switch_degree(0) == 2 + 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            switch_chain(1)
+        with pytest.raises(ValueError):
+            fat_tree_2level(0, 2)
+
+
+class TestValidation:
+    def test_host_needs_one_link(self):
+        g = nx.Graph()
+        g.add_edge(host_node(0), switch_node(0))
+        g.add_edge(host_node(0), switch_node(1))
+        g.add_edge(host_node(1), switch_node(0))
+        g.add_edge(switch_node(0), switch_node(1))
+        with pytest.raises(ValueError, match="exactly one link"):
+            Topology(g, n_hosts=2, n_switches=2)
+
+    def test_disconnected_rejected(self):
+        g = nx.Graph()
+        g.add_edge(host_node(0), switch_node(0))
+        g.add_edge(host_node(1), switch_node(1))
+        with pytest.raises(ValueError, match="connected"):
+            Topology(g, n_hosts=2, n_switches=2)
+
+    def test_missing_host_rejected(self):
+        g = nx.Graph()
+        g.add_edge(host_node(0), switch_node(0))
+        with pytest.raises(ValueError, match="missing"):
+            Topology(g, n_hosts=2, n_switches=1)
+
+
+class TestRoutes:
+    def test_same_host_empty_route(self):
+        topo = single_switch(3)
+        assert topo.source_route(1, 1) == []
+        assert topo.hop_count(1, 1) == 0
+
+    def test_single_switch_route_length(self):
+        topo = single_switch(4)
+        route = topo.source_route(0, 3)
+        assert len(route) == 1
+        assert topo.hop_count(0, 3) == 2
+
+    def test_route_port_points_at_destination(self):
+        topo = single_switch(4)
+        route = topo.source_route(0, 3)
+        neighbors = topo.switch_neighbors(0)
+        assert neighbors[route[0]] == host_node(3)
+
+    def test_chain_route_crosses_switches(self):
+        topo = switch_chain(8, hosts_per_switch=2)
+        route = topo.source_route(0, 7)   # switch 0 -> ... -> switch 3
+        assert len(route) == 4
+        assert topo.hop_count(0, 7) == 5
+
+    def test_route_out_of_range(self):
+        topo = single_switch(2)
+        with pytest.raises(ValueError):
+            topo.source_route(0, 5)
+
+    def test_port_of_unrelated_neighbor(self):
+        topo = switch_chain(4, hosts_per_switch=2)
+        with pytest.raises(ValueError, match="not adjacent"):
+            topo.switch_port_of(0, host_node(3))
+
+
+@st.composite
+def random_topology(draw):
+    n_hosts = draw(st.integers(min_value=2, max_value=10))
+    hosts_per_switch = draw(st.integers(min_value=1, max_value=4))
+    kind = draw(st.sampled_from(["single", "chain", "fat"]))
+    if kind == "single":
+        return single_switch(n_hosts)
+    if kind == "chain":
+        return switch_chain(n_hosts, hosts_per_switch)
+    leaves = max(1, n_hosts // max(hosts_per_switch, 1))
+    per_leaf = -(-n_hosts // leaves)
+    topo = fat_tree_2level(leaves, per_leaf,
+                           n_spines=draw(st.integers(min_value=1, max_value=3)))
+    return topo
+
+
+@settings(max_examples=40, deadline=None)
+@given(topo=random_topology(), data=st.data())
+def test_every_route_is_walkable(topo, data):
+    """Any (src, dst) route, followed hop by hop, ends at the destination."""
+    src = data.draw(st.integers(min_value=0, max_value=topo.n_hosts - 1))
+    dst = data.draw(st.integers(min_value=0, max_value=topo.n_hosts - 1))
+    route = topo.source_route(src, dst)
+    if src == dst:
+        assert route == []
+        return
+    # Walk: start at src's switch, follow each port choice.
+    position = next(iter(topo.graph.neighbors(host_node(src))))
+    for hop, port in enumerate(route):
+        kind, idx = position
+        assert kind == "s"
+        neighbors = topo.switch_neighbors(idx)
+        assert 0 <= port < len(neighbors)
+        position = neighbors[port]
+    assert position == host_node(dst)

@@ -1,0 +1,133 @@
+"""Environment: clock, deterministic ordering, run modes."""
+
+import pytest
+
+from repro.simkernel import Environment, PRIORITY_HIGH, PRIORITY_LOW
+from repro.simkernel.errors import SimulationError
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Environment().now == 0
+
+    def test_custom_initial_time(self):
+        assert Environment(initial_time=500).now == 500
+
+    def test_invalid_initial_time(self):
+        with pytest.raises(ValueError):
+            Environment(initial_time=-1)
+        with pytest.raises(ValueError):
+            Environment(initial_time=1.5)
+
+    def test_time_advances_monotonically(self, env):
+        times = []
+        env.trace = lambda t, e: times.append(t)
+        env.timeout(30)
+        env.timeout(10)
+        env.timeout(20)
+        env.run()
+        assert times == sorted(times) == [10, 20, 30]
+
+
+class TestOrdering:
+    def test_same_time_fifo_by_schedule_order(self, env):
+        order = []
+        for name in "abc":
+            env.timeout(10, value=name).callbacks.append(
+                lambda e: order.append(e.value))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_priority_beats_schedule_order(self, env):
+        order = []
+        low = env.event()
+        high = env.event()
+        low.callbacks.append(lambda e: order.append("low"))
+        high.callbacks.append(lambda e: order.append("high"))
+        low.succeed(priority=PRIORITY_LOW)
+        high.succeed(priority=PRIORITY_HIGH)
+        env.run()
+        assert order == ["high", "low"]
+
+    def test_determinism_across_runs(self):
+        def build_and_run():
+            env = Environment()
+            log = []
+            def worker(env, name, delays):
+                for d in delays:
+                    yield env.timeout(d)
+                    log.append((env.now, name))
+            env.process(worker(env, "x", [3, 3, 3]))
+            env.process(worker(env, "y", [2, 4, 3]))
+            env.process(worker(env, "z", [9]))
+            env.run()
+            return log
+        assert build_and_run() == build_and_run()
+
+
+class TestRunModes:
+    def test_run_to_quiescence(self, env):
+        env.timeout(5)
+        env.timeout(15)
+        env.run()
+        assert env.now == 15
+        assert env.peek() is None
+
+    def test_run_until_time(self, env):
+        fired = []
+        env.timeout(10).callbacks.append(lambda e: fired.append(10))
+        env.timeout(100).callbacks.append(lambda e: fired.append(100))
+        env.run(until=50)
+        assert fired == [10]
+        assert env.now == 50
+
+    def test_run_until_time_advances_clock_even_if_idle(self, env):
+        env.run(until=1000)
+        assert env.now == 1000
+
+    def test_run_until_past_time_rejected(self, env):
+        env.timeout(10)
+        env.run()
+        with pytest.raises(ValueError, match="past"):
+            env.run(until=5)
+
+    def test_run_until_event_returns_value(self, env):
+        timeout = env.timeout(42, value="v")
+        assert env.run(until=timeout) == "v"
+        assert env.now == 42
+
+    def test_run_until_event_deadlock_detected(self, env):
+        never = env.event()
+        with pytest.raises(SimulationError, match="deadlock"):
+            env.run(until=never)
+
+    def test_run_until_failed_event_raises(self, env):
+        def worker(env):
+            yield env.timeout(1)
+            raise RuntimeError("worker died")
+        proc = env.process(worker(env))
+        with pytest.raises(RuntimeError, match="worker died"):
+            env.run(until=proc)
+
+    def test_run_until_already_processed_event(self, env):
+        timeout = env.timeout(1, value="done")
+        env.run()
+        assert env.run(until=timeout) == "done"
+
+    def test_run_until_bad_type(self, env):
+        with pytest.raises(TypeError):
+            env.run(until="soon")
+
+    def test_step_on_empty_heap_rejected(self, env):
+        with pytest.raises(SimulationError, match="empty"):
+            env.step()
+
+    def test_peek_returns_next_time(self, env):
+        env.timeout(30)
+        env.timeout(7)
+        assert env.peek() == 7
+
+    def test_schedule_into_past_rejected(self, env):
+        event = env.event()
+        with pytest.raises(ValueError, match="past"):
+            env.schedule(event, delay=-5)

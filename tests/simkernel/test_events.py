@@ -1,0 +1,164 @@
+"""Event lifecycle, triggering, and composite conditions."""
+
+import pytest
+
+from repro.simkernel import AllOf, AnyOf, Environment, Event, Timeout
+from repro.simkernel.errors import EventAlreadyTriggered
+
+
+class TestEventLifecycle:
+    def test_starts_pending(self, env):
+        event = env.event()
+        assert not event.triggered
+        assert not event.processed
+
+    def test_value_unavailable_before_trigger(self, env):
+        event = env.event()
+        with pytest.raises(AttributeError):
+            _ = event.value
+
+    def test_succeed_sets_value(self, env):
+        event = env.event().succeed(42)
+        assert event.triggered
+        assert event.ok
+        assert event.value == 42
+
+    def test_processed_after_run(self, env):
+        event = env.event().succeed("x")
+        env.run()
+        assert event.processed
+
+    def test_double_succeed_rejected(self, env):
+        event = env.event().succeed(1)
+        with pytest.raises(EventAlreadyTriggered):
+            event.succeed(2)
+
+    def test_fail_then_succeed_rejected(self, env):
+        event = env.event()
+        event.defuse()
+        event.fail(ValueError("boom"))
+        with pytest.raises(EventAlreadyTriggered):
+            event.succeed(1)
+
+    def test_fail_requires_exception(self, env):
+        with pytest.raises(TypeError):
+            env.event().fail("not an exception")
+
+    def test_fail_marks_not_ok(self, env):
+        event = env.event()
+        event.defuse()
+        event.fail(RuntimeError("x"))
+        assert event.triggered
+        assert not event.ok
+
+    def test_undefused_failure_propagates_from_run(self, env):
+        env.event().fail(RuntimeError("unhandled"))
+        with pytest.raises(RuntimeError, match="unhandled"):
+            env.run()
+
+    def test_defused_failure_is_silent(self, env):
+        event = env.event()
+        event.defuse()
+        event.fail(RuntimeError("handled"))
+        env.run()  # no raise
+
+    def test_callbacks_receive_event(self, env):
+        event = env.event()
+        seen = []
+        event.callbacks.append(seen.append)
+        event.succeed(7)
+        env.run()
+        assert seen == [event]
+
+
+class TestTimeout:
+    def test_fires_after_delay(self, env):
+        timeout = env.timeout(100, value="done")
+        env.run()
+        assert env.now == 100
+        assert timeout.value == "done"
+
+    def test_zero_delay_fires_now(self, env):
+        env.timeout(0)
+        env.run()
+        assert env.now == 0
+
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.timeout(-1)
+
+    def test_float_delay_rejected(self, env):
+        with pytest.raises(TypeError, match="integer"):
+            env.timeout(1.5)
+
+    def test_is_pretriggered(self, env):
+        assert env.timeout(10).triggered
+
+
+class TestAnyOf:
+    def test_fires_on_first(self, env):
+        first, second = env.timeout(10, value="a"), env.timeout(20, value="b")
+        cond = AnyOf(env, [first, second])
+        env.run(until=cond)
+        assert env.now == 10
+        assert cond.value == {first: "a"}
+
+    def test_simultaneous_events_both_reported(self, env):
+        # Two timeouts at the same instant: the first processed wins, but by
+        # the time the condition value is built both may have triggered.
+        a, b = env.timeout(10, value="a"), env.timeout(10, value="b")
+        cond = AnyOf(env, [a, b])
+        value = env.run(until=cond)
+        assert a in value
+        assert value[a] == "a"
+
+    def test_empty_fires_immediately(self, env):
+        cond = AnyOf(env, [])
+        assert cond.triggered
+
+    def test_failure_fails_condition(self, env):
+        event = env.event()
+        cond = AnyOf(env, [event, env.timeout(100)])
+        event.fail(ValueError("inner"))
+        cond.defuse()
+        with pytest.raises(ValueError, match="inner"):
+            env.run(until=cond)
+
+    def test_already_processed_event(self, env):
+        event = env.event().succeed("early")
+        env.run()
+        cond = AnyOf(env, [event])
+        env.run(until=cond)
+        assert cond.value == {event: "early"}
+
+
+class TestAllOf:
+    def test_waits_for_all(self, env):
+        a, b = env.timeout(10, value=1), env.timeout(30, value=2)
+        cond = AllOf(env, [a, b])
+        env.run(until=cond)
+        assert env.now == 30
+        assert cond.value == {a: 1, b: 2}
+
+    def test_values_in_creation_order(self, env):
+        late = env.timeout(50, value="late")
+        early = env.timeout(5, value="early")
+        cond = AllOf(env, [late, early])
+        value = env.run(until=cond)
+        assert list(value.values()) == ["late", "early"]
+
+    def test_empty_fires_immediately(self, env):
+        assert AllOf(env, []).triggered
+
+    def test_cross_environment_rejected(self, env):
+        other = Environment()
+        with pytest.raises(ValueError, match="environment"):
+            AllOf(env, [other.timeout(1)])
+
+    def test_failure_fails_allof(self, env):
+        event = env.event()
+        cond = AllOf(env, [event, env.timeout(100)])
+        event.fail(KeyError("inner"))
+        cond.defuse()
+        with pytest.raises(KeyError):
+            env.run(until=cond)

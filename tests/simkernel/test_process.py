@@ -1,0 +1,186 @@
+"""Process semantics: generators, return values, exceptions, interrupts."""
+
+import pytest
+
+from repro.simkernel import Environment, Interrupt, StopProcess
+from repro.simkernel.errors import SimulationError
+
+
+class TestBasics:
+    def test_requires_generator(self, env):
+        with pytest.raises(TypeError, match="generator"):
+            env.process(lambda: None)
+
+    def test_return_value_is_event_value(self, env):
+        def worker(env):
+            yield env.timeout(5)
+            return "result"
+        proc = env.process(worker(env))
+        assert env.run(until=proc) == "result"
+
+    def test_implicit_none_return(self, env):
+        def worker(env):
+            yield env.timeout(1)
+        proc = env.process(worker(env))
+        assert env.run(until=proc) is None
+
+    def test_stop_process_ends_with_value(self, env):
+        def worker(env):
+            yield env.timeout(1)
+            raise StopProcess("early")
+            yield env.timeout(100)  # pragma: no cover
+        proc = env.process(worker(env))
+        assert env.run(until=proc) == "early"
+        assert env.now == 1
+
+    def test_process_waits_on_process(self, env):
+        def inner(env):
+            yield env.timeout(10)
+            return 5
+        def outer(env):
+            value = yield env.process(inner(env))
+            return value * 2
+        proc = env.process(outer(env))
+        assert env.run(until=proc) == 10
+
+    def test_sequential_timeouts_accumulate(self, env):
+        def worker(env):
+            for _ in range(4):
+                yield env.timeout(25)
+        proc = env.process(worker(env))
+        env.run(until=proc)
+        assert env.now == 100
+
+    def test_is_alive_flag(self, env):
+        def worker(env):
+            yield env.timeout(10)
+        proc = env.process(worker(env))
+        assert proc.is_alive
+        env.run()
+        assert not proc.is_alive
+
+    def test_active_process_count(self, env):
+        def worker(env):
+            yield env.timeout(10)
+        env.process(worker(env))
+        env.process(worker(env))
+        assert env.active_process_count == 2
+        env.run()
+        assert env.active_process_count == 0
+
+    def test_already_processed_event_continues_synchronously(self, env):
+        done = env.event().succeed("x")
+        env.run()
+        def worker(env):
+            value = yield done
+            return value
+        proc = env.process(worker(env))
+        assert env.run(until=proc) == "x"
+
+
+class TestErrors:
+    def test_exception_fails_process(self, env):
+        def worker(env):
+            yield env.timeout(1)
+            raise ValueError("inside")
+        env.process(worker(env))
+        with pytest.raises(ValueError, match="inside"):
+            env.run()
+
+    def test_exception_propagates_to_waiter(self, env):
+        def inner(env):
+            yield env.timeout(1)
+            raise KeyError("inner-error")
+        def outer(env):
+            try:
+                yield env.process(inner(env))
+            except KeyError:
+                return "caught"
+        proc = env.process(outer(env))
+        assert env.run(until=proc) == "caught"
+
+    def test_yield_non_event_fails(self, env):
+        def worker(env):
+            yield 42
+        env.process(worker(env))
+        with pytest.raises(SimulationError, match="non-event"):
+            env.run()
+
+    def test_yield_foreign_event_fails(self, env):
+        other = Environment()
+        def worker(env):
+            yield other.timeout(1)
+        env.process(worker(env))
+        with pytest.raises(SimulationError, match="another environment"):
+            env.run()
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self, env):
+        def sleeper(env):
+            try:
+                yield env.timeout(1000)
+            except Interrupt as interrupt:
+                return ("woken", interrupt.cause, env.now)
+        def waker(env, target):
+            yield env.timeout(50)
+            target.interrupt("alarm")
+        proc = env.process(sleeper(env))
+        env.process(waker(env, proc))
+        assert env.run(until=proc) == ("woken", "alarm", 50)
+
+    def test_interrupted_process_can_rewait(self, env):
+        def sleeper(env):
+            timeout = env.timeout(100)
+            try:
+                yield timeout
+            except Interrupt:
+                yield timeout       # resume waiting on the same event
+                return env.now
+        def waker(env, target):
+            yield env.timeout(10)
+            target.interrupt()
+        proc = env.process(sleeper(env))
+        env.process(waker(env, proc))
+        assert env.run(until=proc) == 100
+
+    def test_uncaught_interrupt_fails_process(self, env):
+        def sleeper(env):
+            yield env.timeout(1000)
+        def waker(env, target):
+            yield env.timeout(1)
+            target.interrupt("bye")
+        proc = env.process(sleeper(env))
+        env.process(waker(env, proc))
+        with pytest.raises(Interrupt):
+            env.run()
+
+    def test_interrupt_dead_process_rejected(self, env):
+        def quick(env):
+            yield env.timeout(1)
+        proc = env.process(quick(env))
+        env.run()
+        with pytest.raises(SimulationError, match="dead"):
+            proc.interrupt()
+
+    def test_self_interrupt_rejected(self, env):
+        def worker(env):
+            yield env.timeout(0)
+            me = env.active_process
+            me.interrupt()
+        env.process(worker(env))
+        with pytest.raises(SimulationError, match="itself"):
+            env.run()
+
+    def test_interrupt_after_completion_race_is_noop(self, env):
+        # Interrupt scheduled, but the process ends at the same instant.
+        def sleeper(env):
+            yield env.timeout(10)
+            return "done"
+        def waker(env, target):
+            yield env.timeout(10)
+            if target.is_alive:
+                target.interrupt()
+        proc = env.process(sleeper(env))
+        env.process(waker(env, proc))
+        assert env.run(until=proc) == "done"

@@ -1,0 +1,137 @@
+"""Resources: mutual exclusion, FIFO/priority grant order, release."""
+
+import pytest
+
+from repro.simkernel import Environment, PriorityResource, Resource
+from repro.simkernel.resources import Mutex, held_by_anyone
+
+
+def hold(env, resource, log, name, duration, priority=None):
+    req = resource.request(priority) if priority is not None else resource.request()
+    with req:
+        yield req
+        log.append((name, "acquire", env.now))
+        yield env.timeout(duration)
+        log.append((name, "release", env.now))
+
+
+class TestResource:
+    def test_capacity_validation(self, env):
+        with pytest.raises(ValueError):
+            Resource(env, capacity=0)
+
+    def test_immediate_grant_under_capacity(self, env):
+        resource = Resource(env, capacity=2)
+        first, second = resource.request(), resource.request()
+        assert first.triggered and second.triggered
+        assert resource.count == 2
+
+    def test_exclusion_capacity_one(self, env):
+        resource = Resource(env)
+        log = []
+        env.process(hold(env, resource, log, "a", 100))
+        env.process(hold(env, resource, log, "b", 50))
+        env.run()
+        assert log == [("a", "acquire", 0), ("a", "release", 100),
+                       ("b", "acquire", 100), ("b", "release", 150)]
+
+    def test_fifo_grant_order(self, env):
+        resource = Resource(env)
+        log = []
+        for name in "abcd":
+            env.process(hold(env, resource, log, name, 10))
+        env.run()
+        acquires = [entry[0] for entry in log if entry[1] == "acquire"]
+        assert acquires == list("abcd")
+
+    def test_overlap_at_capacity_two(self, env):
+        resource = Resource(env, capacity=2)
+        log = []
+        for name in "abc":
+            env.process(hold(env, resource, log, name, 100))
+        env.run()
+        # a and b run together; c starts when the first finishes.
+        assert ("c", "acquire", 100) in log
+        assert env.now == 200
+
+    def test_release_is_idempotent(self, env):
+        resource = Resource(env)
+        req = resource.request()
+        resource.release(req)
+        resource.release(req)
+        assert resource.count == 0
+
+    def test_cancel_queued_request(self, env):
+        resource = Resource(env)
+        holder = resource.request()
+        queued = resource.request()
+        assert resource.queued == 1
+        queued.cancel()
+        assert resource.queued == 0
+        resource.release(holder)
+        assert resource.count == 0
+
+    def test_context_manager_releases(self, env):
+        resource = Resource(env)
+        def worker(env):
+            with resource.request() as req:
+                yield req
+                yield env.timeout(10)
+            return resource.count
+        proc = env.process(worker(env))
+        assert env.run(until=proc) == 0
+
+    def test_queue_count(self, env):
+        resource = Resource(env)
+        resource.request()
+        resource.request()
+        resource.request()
+        assert resource.count == 1
+        assert resource.queued == 2
+
+    def test_held_by_anyone_helper(self, env):
+        resource = Resource(env)
+        assert not held_by_anyone(resource)
+        resource.request()
+        assert held_by_anyone(resource)
+
+
+class TestPriorityResource:
+    def test_priority_order(self, env):
+        resource = PriorityResource(env)
+        log = []
+        env.process(hold(env, resource, log, "first", 10, priority=5))
+
+        def late_but_urgent(env):
+            yield env.timeout(1)
+            yield from hold(env, resource, log, "urgent", 10, priority=0)
+
+        def late_and_lazy(env):
+            yield env.timeout(1)
+            yield from hold(env, resource, log, "lazy", 10, priority=9)
+
+        env.process(late_and_lazy(env))
+        env.process(late_but_urgent(env))
+        env.run()
+        acquires = [entry[0] for entry in log if entry[1] == "acquire"]
+        assert acquires == ["first", "urgent", "lazy"]
+
+    def test_equal_priority_fifo(self, env):
+        resource = PriorityResource(env)
+        log = []
+        for name in "abc":
+            env.process(hold(env, resource, log, name, 10, priority=1))
+        env.run()
+        acquires = [entry[0] for entry in log if entry[1] == "acquire"]
+        assert acquires == list("abc")
+
+
+class TestMutex:
+    def test_locked_flag(self, env):
+        mutex = Mutex(env)
+        assert not mutex.locked()
+        mutex.request()
+        assert mutex.locked()
+
+    def test_capacity_is_one(self, env):
+        assert Mutex(env).capacity == 1

@@ -1,0 +1,140 @@
+"""Tracer, and the | / & condition operators on events."""
+
+import pytest
+
+from repro.simkernel import Environment
+from repro.simkernel.trace import Tracer
+
+
+class TestOperators:
+    def test_or_fires_on_first(self, env):
+        fast = env.timeout(10, value="fast")
+        slow = env.timeout(100, value="slow")
+        def waiter(env):
+            result = yield fast | slow
+            return (env.now, list(result.values()))
+        proc = env.process(waiter(env))
+        assert env.run(until=proc) == (10, ["fast"])
+
+    def test_and_waits_for_both(self, env):
+        a = env.timeout(10, value=1)
+        b = env.timeout(100, value=2)
+        def waiter(env):
+            result = yield a & b
+            return (env.now, sorted(result.values()))
+        proc = env.process(waiter(env))
+        assert env.run(until=proc) == (100, [1, 2])
+
+    def test_chained_or(self, env):
+        events = [env.timeout(delay) for delay in (30, 10, 20)]
+        def waiter(env):
+            yield events[0] | events[1] | events[2]
+            return env.now
+        proc = env.process(waiter(env))
+        assert env.run(until=proc) == 10
+
+    def test_mixed_composition(self, env):
+        a, b, c = env.timeout(10), env.timeout(20), env.timeout(500)
+        def waiter(env):
+            yield (a & b) | c
+            return env.now
+        proc = env.process(waiter(env))
+        assert env.run(until=proc) == 20
+
+    def test_non_event_operand(self, env):
+        with pytest.raises(TypeError):
+            _ = env.timeout(1) | 42
+
+
+class TestTracer:
+    def run_sample(self, tracer=None):
+        env = Environment()
+        if tracer is not None:
+            tracer.attach(env)
+        def worker(env):
+            yield env.timeout(10)
+            yield env.timeout(20)
+        env.process(worker(env), name="sample-worker")
+        env.run()
+        return env
+
+    def test_records_timeouts_and_process(self):
+        tracer = Tracer()
+        self.run_sample(tracer)
+        assert "sample-worker" in tracer.names("process")
+        assert "+10" in tracer.names("timeout")
+        assert len(tracer) >= 3
+
+    def test_records_are_time_ordered(self):
+        tracer = Tracer()
+        self.run_sample(tracer)
+        times = [r.time for r in tracer.records]
+        assert times == sorted(times)
+
+    def test_keep_filter(self):
+        tracer = Tracer(keep=lambda r: r.kind == "process")
+        self.run_sample(tracer)
+        assert all(r.kind == "process" for r in tracer.records)
+
+    def test_between_query(self):
+        tracer = Tracer()
+        self.run_sample(tracer)
+        early = tracer.between(0, 11)
+        assert all(r.time <= 10 for r in early)
+
+    def test_timeline_renders(self):
+        tracer = Tracer()
+        self.run_sample(tracer)
+        text = tracer.timeline(limit=2)
+        assert "ns" in text
+        assert "more" in text or len(tracer) <= 2
+
+    def test_detach_restores(self):
+        env = Environment()
+        tracer = Tracer().attach(env)
+        tracer.detach(env)
+        assert env.trace is None
+
+    def test_chains_previous_hook(self):
+        env = Environment()
+        seen = []
+        env.trace = lambda t, e: seen.append(t)
+        tracer = Tracer().attach(env)
+        env.timeout(5)
+        env.run()
+        assert seen == [5]
+        assert len(tracer) == 1
+
+    def test_identical_runs_trace_identically(self):
+        first, second = Tracer(), Tracer()
+        self.run_sample(first)
+        self.run_sample(second)
+        assert [tuple(r) for r in first.records] == \
+            [tuple(r) for r in second.records]
+
+    def test_fm_run_traceable(self, fm2_cluster):
+        """End to end: tracing a full FM exchange names the firmware loops."""
+        tracer = Tracer(keep=lambda r: r.kind == "process").attach(
+            fm2_cluster.env)
+        done = []
+
+        def handler(fm, stream, src):
+            yield from stream.receive_bytes(stream.msg_bytes)
+            done.append(1)
+
+        hid = {n.fm.register_handler(handler)
+               for n in fm2_cluster.nodes}.pop()
+
+        def sender(node):
+            buf = node.buffer(64)
+            yield from node.fm.send_buffer(1, hid, buf, 64)
+
+        def receiver(node):
+            while not done:
+                got = yield from node.fm.extract()
+                if not got:
+                    yield node.env.timeout(500)
+
+        fm2_cluster.run([sender, receiver])
+        names = set(tracer.names("process"))
+        assert any("handler" in name for name in names)

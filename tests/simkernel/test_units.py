@@ -1,0 +1,69 @@
+"""Time-unit conversions and transfer-time arithmetic."""
+
+import pytest
+
+from repro.simkernel.units import (
+    MICROSECOND,
+    MILLISECOND,
+    SECOND,
+    bytes_per_sec_to_ns_per_byte,
+    ms,
+    ns_to_s,
+    ns_to_us,
+    s,
+    transfer_time_ns,
+    us,
+)
+
+
+class TestConversions:
+    def test_us(self):
+        assert us(1) == 1_000
+        assert us(2.5) == 2_500
+
+    def test_ms(self):
+        assert ms(1) == 1_000_000
+
+    def test_s(self):
+        assert s(1) == SECOND
+
+    def test_roundtrip(self):
+        assert ns_to_us(us(17.25)) == pytest.approx(17.25)
+        assert ns_to_s(s(0.5)) == pytest.approx(0.5)
+
+    def test_rounding(self):
+        assert us(0.0004) == 0
+        assert us(0.0006) == 1
+
+    def test_constants_consistent(self):
+        assert SECOND == 1000 * MILLISECOND == 1_000_000 * MICROSECOND
+
+
+class TestTransferTime:
+    def test_ns_per_byte(self):
+        assert bytes_per_sec_to_ns_per_byte(1e9) == pytest.approx(1.0)
+        assert bytes_per_sec_to_ns_per_byte(160e6) == pytest.approx(6.25)
+
+    def test_zero_rate_rejected(self):
+        with pytest.raises(ValueError):
+            bytes_per_sec_to_ns_per_byte(0)
+
+    def test_transfer_time_rounds_up(self):
+        # 3 bytes at 1 GB/s is exactly 3 ns; 1 byte at 3 GB/s rounds up to 1.
+        assert transfer_time_ns(3, 1e9) == 3
+        assert transfer_time_ns(1, 3e9) == 1
+
+    def test_startup_added(self):
+        assert transfer_time_ns(100, 1e9, startup_ns=50) == 150
+
+    def test_zero_bytes(self):
+        assert transfer_time_ns(0, 1e9, startup_ns=7) == 7
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            transfer_time_ns(-1, 1e9)
+
+    def test_no_cumulative_bias(self):
+        # 1000 one-byte transfers at 160 MB/s must take >= the exact time.
+        per = transfer_time_ns(1, 160e6)
+        assert per * 1000 >= 1000 / 160e6 * 1e9

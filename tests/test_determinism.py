@@ -1,0 +1,93 @@
+"""End-to-end determinism: identical builds produce identical histories.
+
+The simulation must be a pure function of its inputs — no hash-order,
+wall-clock, or hidden-global dependence.  A mixed workload (MPI
+collectives + point-to-point + sockets) is run twice from scratch and the
+full event traces are compared record for record.
+"""
+
+import numpy as np
+
+from repro.cluster import Cluster
+from repro.configs import PPRO_FM2
+from repro.simkernel.trace import Tracer
+from repro.upper.mpi import build_mpi_world
+from repro.upper.sockets import SocketStack
+
+
+def mixed_workload_trace():
+    """Run a nontrivial 4-node workload and return its full trace."""
+    cluster = Cluster(4, machine=PPRO_FM2, fm_version=2)
+    tracer = Tracer().attach(cluster.env)
+    comms = build_mpi_world(cluster)
+    outputs = {}
+
+    def make(rank):
+        comm = comms[rank]
+
+        def program(node):
+            # Collective + p2p mix.
+            total = yield from comm.allreduce(
+                np.arange(4, dtype=np.float64) * (rank + 1), np.add)
+            right = (rank + 1) % 4
+            left = (rank - 1) % 4
+            data, _ = yield from comm.sendrecv(bytes([rank]) * 200, right,
+                                               left)
+            gathered = yield from comm.gather(data, root=0)
+            outputs[rank] = (float(total.sum()), data,
+                             None if gathered is None else len(gathered))
+        return program
+
+    cluster.run([make(rank) for rank in range(4)])
+    return tracer, outputs, cluster.now
+
+
+def socket_workload_trace():
+    cluster = Cluster(2, machine=PPRO_FM2, fm_version=2)
+    tracer = Tracer().attach(cluster.env)
+    stacks = [SocketStack(node) for node in cluster.nodes]
+    out = {}
+
+    def server(node):
+        stacks[0].listen()
+        sock = yield from stacks[0].accept()
+        data = yield from sock.recv_exactly(5000)
+        yield from sock.send(data[::-1])
+
+    def client(node):
+        sock = yield from stacks[1].connect(0)
+        yield from sock.send(bytes(range(250)) * 20)
+        out["echo"] = yield from sock.recv_exactly(5000)
+
+    cluster.run([server, client])
+    return tracer, out, cluster.now
+
+
+class TestDeterminism:
+    def test_mpi_workload_bit_identical(self):
+        first_trace, first_out, first_now = mixed_workload_trace()
+        second_trace, second_out, second_now = mixed_workload_trace()
+        assert first_now == second_now
+        assert first_out == second_out
+        assert len(first_trace) == len(second_trace)
+        assert [tuple(r) for r in first_trace.records] == \
+            [tuple(r) for r in second_trace.records]
+
+    def test_socket_workload_bit_identical(self):
+        first_trace, first_out, first_now = socket_workload_trace()
+        second_trace, second_out, second_now = socket_workload_trace()
+        assert first_now == second_now
+        assert first_out == second_out
+        assert [tuple(r) for r in first_trace.records] == \
+            [tuple(r) for r in second_trace.records]
+
+    def test_results_correct_while_traced(self):
+        _trace, outputs, _now = mixed_workload_trace()
+        # allreduce of arange(4)*k for k=1..4 sums to 6 * 10 = 60.
+        assert all(total == 60.0 for total, _d, _g in outputs.values())
+        for rank in range(4):
+            left = (rank - 1) % 4
+            assert outputs[rank][1] == bytes([left]) * 200
+        assert outputs[0][2] == 4
+        _trace2, socket_out, _n = socket_workload_trace()
+        assert socket_out["echo"] == (bytes(range(250)) * 20)[::-1]

@@ -1,0 +1,144 @@
+"""Cross-cutting hardening: corners not owned by any one module's suite."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.configs import PPRO_FM2, SPARC_FM1
+from repro.ext import SwRelParams, SwReliablePair
+from repro.hardware.memory import Buffer
+from repro.upper.mpi import build_mpi_world
+from repro.upper.sockets import SocketStack, Wsa
+
+
+class TestStopAndWait:
+    def test_window_of_one_still_correct(self):
+        """Degenerate go-back-N (stop-and-wait) delivers everything."""
+        cluster = Cluster(2, machine=PPRO_FM2, fm_version=2)
+        pair = SwReliablePair(cluster, 0, 1,
+                              params=SwRelParams(payload_bytes=256, window=1))
+        payloads = [bytes([i]) * 700 for i in range(5)]
+        got = []
+        done = [False]
+
+        def sender(node):
+            for payload in payloads:
+                yield from pair.send_message(payload)
+            done[0] = True
+
+        def receiver(node):
+            while len(got) < 5 or not done[0] or pair.outstanding:
+                messages = yield from pair.deliver()
+                got.extend(messages)
+                if not messages:
+                    yield node.env.timeout(300)
+
+        cluster.run([sender, receiver])
+        assert got == payloads
+
+
+class TestFm1BindingScanReduceScatter:
+    def test_scan_over_fm1(self):
+        cluster = Cluster(3, machine=SPARC_FM1, fm_version=1)
+        comms = build_mpi_world(cluster)
+        results = {}
+
+        def make(rank):
+            def program(node):
+                out = yield from comms[rank].scan(
+                    np.array([float(rank + 1)]), np.add)
+                results[rank] = out[0]
+            return program
+
+        cluster.run([make(rank) for rank in range(3)])
+        assert results == {0: 1.0, 1: 3.0, 2: 6.0}
+
+    def test_reduce_scatter_over_fm1(self):
+        cluster = Cluster(2, machine=SPARC_FM1, fm_version=1)
+        comms = build_mpi_world(cluster)
+        results = {}
+
+        def make(rank):
+            def program(node):
+                local = np.arange(4, dtype=np.float64) * (rank + 1)
+                results[rank] = yield from comms[rank].reduce_scatter(
+                    local, np.add)
+            return program
+
+        cluster.run([make(rank) for rank in range(2)])
+        full = np.arange(4, dtype=np.float64) * 3
+        assert np.allclose(results[0], full[:2])
+        assert np.allclose(results[1], full[2:])
+
+
+class TestWsaOrdering:
+    def test_queued_sends_preserve_stream_order(self):
+        cluster = Cluster(2, machine=PPRO_FM2, fm_version=2)
+        stacks = [SocketStack(node) for node in cluster.nodes]
+        out = {}
+
+        def server(node):
+            stacks[0].listen()
+            sock = yield from stacks[0].accept()
+            out["stream"] = yield from sock.recv_exactly(9)
+
+        def client(node):
+            wsa = Wsa(stacks[1])
+            sock = yield from stacks[1].connect(0)
+            operations = [wsa.send(sock, part)
+                          for part in (b"one", b"two", b"333")]
+            for operation in operations:
+                yield from wsa.get_overlapped_result(operation)
+
+        cluster.run([server, client])
+        assert out["stream"] == b"onetwo333"
+
+
+class TestBufferAliasSafety:
+    def test_fm2_sender_may_reuse_buffer_after_send_returns(self):
+        """Once send_buffer returns, the payload has crossed the bus: the
+        application may overwrite its buffer (the FM contract)."""
+        cluster = Cluster(2, machine=PPRO_FM2, fm_version=2)
+        got = []
+
+        def handler(fm, stream, src):
+            got.append((yield from stream.receive_bytes(stream.msg_bytes)))
+
+        hid = {n.fm.register_handler(handler) for n in cluster.nodes}.pop()
+
+        def sender(node):
+            buf = node.buffer(64, fill=b"A" * 64)
+            yield from node.fm.send_buffer(1, hid, buf, 64)
+            buf.write(b"B" * 64)     # clobber immediately
+            yield from node.fm.send_buffer(1, hid, buf, 64)
+
+        def receiver(node):
+            while len(got) < 2:
+                extracted = yield from node.fm.extract()
+                if not extracted:
+                    yield node.env.timeout(500)
+
+        cluster.run([sender, receiver])
+        assert got == [b"A" * 64, b"B" * 64]
+
+
+class TestZeroAndOddSizes:
+    @pytest.mark.parametrize("size", [0, 1, 15, 17, 1023, 1025])
+    def test_mpi_boundary_sizes(self, size):
+        """Sizes straddling the send_4 and packet boundaries roundtrip."""
+        cluster = Cluster(2, machine=PPRO_FM2, fm_version=2)
+        comms = build_mpi_world(cluster)
+        payload = bytes(range(256)) * (size // 256 + 1)
+        payload = payload[:size]
+        out = {}
+
+        def rank0(node):
+            yield from comms[0].send(payload, 1, tag=1)
+
+        def rank1(node):
+            data, status = yield from comms[1].recv(0, 1, max_bytes=size + 1)
+            out["data"], out["count"] = data, status.count
+
+        cluster.run([rank0, rank1])
+        assert out["data"] == payload
+        assert out["count"] == size

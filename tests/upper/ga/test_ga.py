@@ -1,0 +1,174 @@
+"""Global Arrays: distribution, patch get/put/acc, sync."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.configs import PPRO_FM2
+from repro.upper.ga import GaError, GlobalArray
+from repro.upper.shmem import Shmem
+
+
+def make_ga(n_pes=4, rows=16, cols=4):
+    cluster = Cluster(n_pes, machine=PPRO_FM2, fm_version=2)
+    shmems = [Shmem(node, n_pes) for node in cluster.nodes]
+    arrays = [GlobalArray(shmems[i], 1, rows, cols) for i in range(n_pes)]
+    return cluster, shmems, arrays
+
+
+def spmd(cluster, shmems, bodies):
+    """Run one body per PE, each followed by the final barrier."""
+    def make(rank):
+        def program(node):
+            result = yield from bodies[rank](node)
+            yield from shmems[rank].barrier()
+            return result
+        return program
+    return cluster.run([make(r) for r in range(len(bodies))])
+
+
+class TestDistribution:
+    def test_owner_of_rows(self):
+        _cluster, _shmems, arrays = make_ga(4, rows=16)
+        ga = arrays[0]
+        assert [ga.owner_of(r) for r in (0, 3, 4, 15)] == [0, 0, 1, 3]
+
+    def test_owner_out_of_range(self):
+        _cluster, _shmems, arrays = make_ga()
+        with pytest.raises(GaError):
+            arrays[0].owner_of(99)
+
+    def test_uneven_distribution(self):
+        _cluster, _shmems, arrays = make_ga(n_pes=3, rows=10)
+        ga = arrays[0]
+        assert ga.rows_per_pe == 4
+        assert ga._local_rows(0) == 4
+        assert ga._local_rows(2) == 2     # last PE gets the remainder
+
+    def test_local_view_is_mutable_window(self):
+        _cluster, _shmems, arrays = make_ga()
+        view = arrays[2].local_view()
+        view[:] = 7.0
+        raw = np.frombuffer(arrays[2].local.data, dtype=np.float64)
+        assert np.all(raw[: view.size] == 7.0)
+
+    def test_invalid_shape(self):
+        cluster, shmems, _arrays = make_ga()
+        with pytest.raises(GaError):
+            GlobalArray(shmems[0], 9, rows=0, cols=4)
+
+
+class TestGetPut:
+    def test_get_assembles_across_owners(self):
+        cluster, shmems, arrays = make_ga(4, rows=16, cols=4)
+        out = {}
+        def make_body(rank):
+            def body(node):
+                arrays[rank].local_view()[:] = float(rank)
+                yield from shmems[rank].barrier()
+                if rank == 0:
+                    patch = yield from arrays[0].get(0, 16)
+                    out["patch"] = patch
+            return body
+        spmd(cluster, shmems, [make_body(r) for r in range(4)])
+        expected = np.repeat(np.arange(4.0), 4)[:, None] * np.ones((1, 4))
+        assert np.allclose(out["patch"], expected)
+
+    def test_get_sub_columns(self):
+        cluster, shmems, arrays = make_ga(2, rows=4, cols=6)
+        out = {}
+        def body0(node):
+            arrays[0].local_view()[:] = np.arange(12.0).reshape(2, 6)
+            yield from shmems[0].barrier()
+            if False:
+                yield
+        def body1(node):
+            yield from shmems[1].barrier()
+            patch = yield from arrays[1].get(0, 2, col_lo=2, col_hi=5)
+            out["patch"] = patch
+        spmd(cluster, shmems, [body0, body1])
+        expected = np.arange(12.0).reshape(2, 6)[:, 2:5]
+        assert np.allclose(out["patch"], expected)
+
+    def test_put_remote_rows(self):
+        cluster, shmems, arrays = make_ga(2, rows=4, cols=3)
+        def body0(node):
+            yield from arrays[0].put(2, np.full((2, 3), 9.0))   # PE1's rows
+            yield from arrays[0].sync()
+        def body1(node):
+            yield from arrays[1].sync()
+        spmd(cluster, shmems, [body0, body1])
+        assert np.allclose(arrays[1].local_view(), 9.0)
+
+    def test_put_local_rows_no_network(self):
+        cluster, shmems, arrays = make_ga(2, rows=4, cols=3)
+        def body0(node):
+            yield from arrays[0].put(0, np.full((2, 3), 5.0))
+            return None
+            yield
+        def body1(node):
+            return None
+            yield
+        spmd(cluster, shmems, [body0, body1])
+        assert np.allclose(arrays[0].local_view(), 5.0)
+        assert cluster.node(0).fm.stats_sent_messages <= 2  # barrier only
+
+    def test_patch_validation(self):
+        _cluster, _shmems, arrays = make_ga()
+        with pytest.raises(GaError, match="row range"):
+            next(arrays[0].get(5, 5))
+        with pytest.raises(GaError, match="col range"):
+            next(arrays[0].get(0, 1, col_lo=3, col_hi=99))
+        with pytest.raises(GaError, match="2-D"):
+            next(arrays[0].put(0, np.zeros(4)))
+
+
+class TestAcc:
+    def test_acc_accumulates_remote(self):
+        cluster, shmems, arrays = make_ga(2, rows=4, cols=2)
+        def body0(node):
+            yield from arrays[0].acc(2, np.ones((2, 2)))
+            yield from arrays[0].acc(2, np.ones((2, 2)) * 2)
+            yield from arrays[0].sync()
+        def body1(node):
+            arrays[1].local_view()[:] = 10.0
+            yield from shmems[1].barrier()
+            yield from arrays[1].sync()
+        # body1 must init before body0 accumulates: add a starting barrier.
+        def body0_sync(node):
+            yield from shmems[0].barrier()
+            yield from body0(node)
+        spmd(cluster, shmems, [body0_sync, body1])
+        assert np.allclose(arrays[1].local_view(), 13.0)
+
+    def test_acc_local(self):
+        cluster, shmems, arrays = make_ga(2, rows=4, cols=2)
+        def body0(node):
+            arrays[0].local_view()[:] = 1.0
+            yield from arrays[0].acc(0, np.full((2, 2), 0.5))
+            return None
+        def body1(node):
+            return None
+            yield
+        spmd(cluster, shmems, [body0, body1])
+        assert np.allclose(arrays[0].local_view(), 1.5)
+
+
+class TestIntegration:
+    def test_distributed_transpose_sum(self):
+        """Every PE writes its block, reads the full array, sums — all PEs
+        agree with the numpy reference."""
+        rows, cols, n_pes = 8, 8, 4
+        cluster, shmems, arrays = make_ga(n_pes, rows, cols)
+        reference = np.arange(64.0).reshape(8, 8)
+        sums = {}
+        def make_body(rank):
+            def body(node):
+                block = reference[rank * 2: rank * 2 + 2]
+                arrays[rank].local_view()[:] = block
+                yield from shmems[rank].barrier()
+                full = yield from arrays[rank].get(0, rows)
+                sums[rank] = float(full.sum())
+            return body
+        spmd(cluster, shmems, [make_body(r) for r in range(n_pes)])
+        assert all(value == reference.sum() for value in sums.values())

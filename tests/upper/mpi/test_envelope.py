@@ -1,0 +1,31 @@
+"""The 24-byte MPI envelope."""
+
+import pytest
+
+from repro.upper.mpi.envelope import ENVELOPE_BYTES, Envelope
+
+
+class TestEnvelope:
+    def test_is_24_bytes(self):
+        """The paper: 'the minimum length of the header added by the MPI
+        code is 24 bytes (6 words)'."""
+        assert ENVELOPE_BYTES == 24
+        assert len(Envelope(0, 1, 2, 3, 0, 4).pack()) == 24
+
+    def test_roundtrip(self):
+        env = Envelope(context=7, src_rank=3, tag=99, size=4096, kind=1,
+                       serial=12345)
+        assert Envelope.unpack(env.pack()) == env
+
+    def test_negative_fields_roundtrip(self):
+        env = Envelope(context=0, src_rank=0, tag=-1, size=0, kind=0, serial=0)
+        assert Envelope.unpack(env.pack()).tag == -1
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            Envelope.unpack(b"short")
+
+    def test_frozen(self):
+        env = Envelope(0, 0, 0, 0, 0, 0)
+        with pytest.raises(AttributeError):
+            env.tag = 5

@@ -1,0 +1,126 @@
+"""Model-based test of MPI matching semantics.
+
+A reference matcher (pure Python, obviously-correct queues) is run against
+the real engine on randomly generated scenario scripts of sends and
+receives with random sources/tags/wildcards.  For every receive, the data
+the engine delivers must equal what the reference matcher predicts — this
+pins the posted-before-unexpected rule, FIFO-within-match (non-overtaking),
+and wildcard behaviour in one property.
+"""
+
+from collections import deque
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cluster import Cluster
+from repro.configs import PPRO_FM2
+from repro.upper.mpi import ANY_SOURCE, ANY_TAG, build_mpi_world
+
+N_SENDERS = 2
+TAGS = (0, 1)
+
+
+class ReferenceMatcher:
+    """Ground truth: per-arrival-order unexpected queue, FIFO matching.
+
+    Receives are issued one at a time and each blocks until matched, so the
+    reference only needs the arrival order per (source, tag) class: the
+    engine's network guarantees per-sender FIFO arrival, and our scenarios
+    make cross-sender arrival order deterministic by sending sender 0's
+    messages first (sequenced with a barrier-like delay).
+    """
+
+    def __init__(self, sent: dict[int, list[tuple[int, bytes]]]):
+        # sent[src] = ordered list of (tag, payload)
+        self.queues = {src: deque(msgs) for src, msgs in sent.items()}
+
+    def match(self, source: int, tag: int) -> bytes:
+        sources = list(self.queues) if source == ANY_SOURCE else [source]
+        # Arrival order across sources in our scenarios: lower src first
+        # (sender k+1 starts after sender k finished, see scenario driver).
+        for src in sorted(sources):
+            queue = self.queues[src]
+            for index, (msg_tag, payload) in enumerate(queue):
+                if tag in (ANY_TAG, msg_tag):
+                    del queue[index]
+                    return payload
+                # Same-source messages cannot overtake: if the tag doesn't
+                # match we keep scanning (later messages may match).
+        raise AssertionError("reference matcher found no candidate")
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_engine_matches_reference(data):
+    # Generate the scenario: each sender sends 1-4 messages with random
+    # tags; the receiver then issues one receive per message with random
+    # (source, tag) selectors drawn from patterns guaranteed to match.
+    sent: dict[int, list[tuple[int, bytes]]] = {}
+    serial = 0
+    for src in range(1, N_SENDERS + 1):
+        msgs = []
+        for _ in range(data.draw(st.integers(1, 4), label=f"count{src}")):
+            tag = data.draw(st.sampled_from(TAGS), label=f"tag{src}")
+            payload = bytes([src, tag, serial % 251])
+            serial += 1
+            msgs.append((tag, payload))
+        sent[src] = msgs
+    total = sum(len(m) for m in sent.values())
+
+    # Receive selectors: random mix of exact and wildcard, constructed so a
+    # match always exists among the not-yet-received messages.
+    reference = ReferenceMatcher({s: list(m) for s, m in sent.items()})
+    selectors = []
+    expected = []
+    remaining = {src: deque(msgs) for src, msgs in sent.items()}
+    for _ in range(total):
+        candidates = [src for src, queue in remaining.items() if queue]
+        use_any_source = data.draw(st.booleans(), label="any_src")
+        src = ANY_SOURCE if use_any_source else data.draw(
+            st.sampled_from(candidates), label="src")
+        if src == ANY_SOURCE:
+            pool_src = sorted(candidates)[0]
+        else:
+            pool_src = src
+        use_any_tag = data.draw(st.booleans(), label="any_tag")
+        if use_any_tag:
+            tag = ANY_TAG
+        else:
+            tag = remaining[pool_src][0][0]   # first pending tag: must match
+        selectors.append((src, tag))
+        payload = reference.match(src, tag)
+        expected.append(payload)
+        # Mirror removal in `remaining`.
+        for index, (mtag, mpayload) in enumerate(remaining[pool_src]):
+            if mpayload == payload:
+                del remaining[pool_src][index]
+                break
+
+    # Run the real engine.
+    cluster = Cluster(N_SENDERS + 1, machine=PPRO_FM2, fm_version=2)
+    comms = build_mpi_world(cluster)
+    received = []
+
+    def make_sender(src: int):
+        def program(node):
+            # Sequence senders: src k starts only after (k-1) * delta, so
+            # cross-sender arrival order is by src (matches the reference).
+            yield node.env.timeout((src - 1) * 400_000)
+            for tag, payload in sent[src]:
+                yield from comms[src].send(payload, 0, tag=tag)
+        return program
+
+    def receiver(node):
+        # Let everything arrive (unexpected) before receiving, so matching
+        # exercises the unexpected queue in arrival order.
+        while comms[0].engine.stats_unexpected < total:
+            yield from comms[0].engine.progress()
+            yield node.env.timeout(2_000)
+        for source, tag in selectors:
+            payload, _status = yield from comms[0].recv(source, tag,
+                                                        max_bytes=16)
+            received.append(payload)
+
+    cluster.run([receiver] + [make_sender(s) for s in range(1, N_SENDERS + 1)])
+    assert received == expected

@@ -1,0 +1,189 @@
+"""Shmem Put/Get: one-sided semantics, fence, barrier, bounds."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster
+from repro.configs import PPRO_FM2, SPARC_FM1
+from repro.upper.shmem import Shmem, ShmemError
+
+REGION = 1
+SIZE = 1024
+
+
+def make_world(n=2):
+    cluster = Cluster(n, machine=PPRO_FM2, fm_version=2)
+    shmems = [Shmem(node, n) for node in cluster.nodes]
+    for sh in shmems:
+        sh.register_region(REGION, SIZE)
+    return cluster, shmems
+
+
+def with_finalize(shmems, rank, body):
+    """Wrap a PE body with the final barrier every shmem program needs."""
+    def program(node):
+        result = yield from body(node)
+        yield from shmems[rank].barrier()
+        return result
+    return program
+
+
+class TestRegions:
+    def test_register_and_lookup(self):
+        cluster, shmems = make_world()
+        assert shmems[0].region(REGION).size == SIZE
+
+    def test_duplicate_region_rejected(self):
+        cluster, shmems = make_world()
+        with pytest.raises(ShmemError, match="already"):
+            shmems[0].register_region(REGION, 10)
+
+    def test_unknown_region(self):
+        cluster, shmems = make_world()
+        with pytest.raises(ShmemError, match="unknown"):
+            shmems[0].region(42)
+
+    def test_requires_fm2(self):
+        cluster = Cluster(2, machine=SPARC_FM1, fm_version=1)
+        with pytest.raises(ShmemError, match="FM 2.x"):
+            Shmem(cluster.node(0), 2)
+
+
+class TestPutGet:
+    def test_put_lands_in_remote_region(self):
+        cluster, shmems = make_world()
+        payload = bytes(range(100))
+        def pe0(node):
+            yield from shmems[0].put(1, REGION, 50, payload)
+            yield from shmems[0].fence()
+        def pe1(node):
+            yield from shmems[1].barrier()
+        def pe0_full(node):
+            yield from pe0(node)
+            yield from shmems[0].barrier()
+        cluster.run([pe0_full, pe1])
+        assert shmems[1].region(REGION).read(50, 100) == payload
+
+    def test_put_payload_scattered_directly_into_region(self):
+        """Zero staging: the only receive-side copy is fm2.deliver into the
+        region itself."""
+        cluster, shmems = make_world()
+        def pe0(node):
+            yield from shmems[0].put(1, REGION, 0, bytes(512))
+            yield from shmems[0].fence()
+            yield from shmems[0].barrier()
+        def pe1(node):
+            yield from shmems[1].barrier()
+        cluster.run([pe0, pe1])
+        meter = cluster.node(1).cpu.meter
+        labels = set(meter.labels())
+        assert labels <= {"fm2.deliver"}
+
+    def test_get_reads_remote_region(self):
+        cluster, shmems = make_world()
+        shmems[1].region(REGION).write(b"remote-data", 10)
+        out = {}
+        def pe0(node):
+            data = yield from shmems[0].get(1, REGION, 10, 11)
+            out["data"] = data
+            yield from shmems[0].barrier()
+        def pe1(node):
+            yield from shmems[1].barrier()
+        cluster.run([pe0, pe1])
+        assert out["data"] == b"remote-data"
+
+    def test_get_after_put_roundtrip(self):
+        cluster, shmems = make_world()
+        out = {}
+        def pe0(node):
+            yield from shmems[0].put(1, REGION, 0, b"pingpong")
+            yield from shmems[0].fence()
+            data = yield from shmems[0].get(1, REGION, 0, 8)
+            out["data"] = data
+            yield from shmems[0].barrier()
+        def pe1(node):
+            yield from shmems[1].barrier()
+        cluster.run([pe0, pe1])
+        assert out["data"] == b"pingpong"
+
+    def test_self_access_rejected(self):
+        cluster, shmems = make_world()
+        with pytest.raises(ShmemError, match="local"):
+            next(shmems[0].put(0, REGION, 0, b"x"))
+
+    def test_out_of_range_rejected(self):
+        cluster, shmems = make_world()
+        with pytest.raises(ShmemError, match="out of range"):
+            next(shmems[0].put(1, REGION, SIZE - 1, b"toolong"))
+
+    def test_bad_pe_rejected(self):
+        cluster, shmems = make_world()
+        with pytest.raises(ShmemError, match="PE"):
+            next(shmems[0].get(7, REGION, 0, 1))
+
+
+class TestAcc:
+    def test_acc_adds_float64(self):
+        cluster, shmems = make_world()
+        base = np.arange(8, dtype=np.float64)
+        shmems[1].region(REGION).write(base.tobytes(), 0)
+        def pe0(node):
+            yield from shmems[0].acc(1, REGION, 0, np.full(8, 0.5))
+            yield from shmems[0].fence()
+            yield from shmems[0].barrier()
+        def pe1(node):
+            yield from shmems[1].barrier()
+        cluster.run([pe0, pe1])
+        result = np.frombuffer(shmems[1].region(REGION).read(0, 64))
+        assert np.allclose(result, base + 0.5)
+
+    def test_concurrent_accs_all_apply(self):
+        cluster, shmems = make_world(4)
+        def make_pe(rank):
+            sh = shmems[rank]
+            def program(node):
+                if rank != 3:
+                    yield from sh.acc(3, REGION, 0, np.full(4, float(rank + 1)))
+                    yield from sh.fence()
+                yield from sh.barrier()
+            return program
+        cluster.run([make_pe(r) for r in range(4)])
+        result = np.frombuffer(shmems[3].region(REGION).read(0, 32))
+        assert np.allclose(result, 1.0 + 2.0 + 3.0)
+
+
+class TestSynchronisation:
+    def test_fence_guarantees_remote_visibility(self):
+        cluster, shmems = make_world()
+        seen = {}
+        def pe0(node):
+            yield from shmems[0].put(1, REGION, 0, b"F")
+            yield from shmems[0].fence()
+            seen["after_fence"] = shmems[1].region(REGION).read(0, 1)
+            yield from shmems[0].barrier()
+        def pe1(node):
+            yield from shmems[1].barrier()
+        cluster.run([pe0, pe1])
+        assert seen["after_fence"] == b"F"
+
+    def test_barrier_synchronises_pes(self):
+        cluster, shmems = make_world(3)
+        times = {}
+        def make_pe(rank):
+            def program(node):
+                yield node.env.timeout(rank * 40_000)
+                yield from shmems[rank].barrier()
+                times[rank] = node.env.now
+            return program
+        cluster.run([make_pe(r) for r in range(3)])
+        assert all(t >= 80_000 for t in times.values())
+
+    def test_repeated_barriers_use_distinct_epochs(self):
+        cluster, shmems = make_world()
+        def make_pe(rank):
+            def program(node):
+                for _ in range(3):
+                    yield from shmems[rank].barrier()
+            return program
+        cluster.run([make_pe(0), make_pe(1)])
+        assert shmems[0]._barrier_epoch == 3

@@ -1,0 +1,124 @@
+"""Property-based shmem/GA tests: the global address space mirrors a
+reference byte array under random operation sequences."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cluster import Cluster
+from repro.configs import PPRO_FM2
+from repro.upper.ga import GlobalArray
+from repro.upper.shmem import Shmem
+
+SIM_SETTINGS = settings(max_examples=10, deadline=None,
+                        suppress_health_check=[HealthCheck.too_slow])
+
+REGION = 1
+SIZE = 512
+
+
+@st.composite
+def put_ops(draw):
+    """A random sequence of (offset, data) puts within the region."""
+    ops = []
+    for _ in range(draw(st.integers(1, 8))):
+        offset = draw(st.integers(0, SIZE - 1))
+        length = draw(st.integers(1, SIZE - offset))
+        seed = draw(st.integers(0, 255))
+        ops.append((offset, bytes((seed + i) % 256 for i in range(length))))
+    return ops
+
+
+@SIM_SETTINGS
+@given(ops=put_ops())
+def test_put_sequence_mirrors_reference(ops):
+    """Applying puts in order, with a fence, equals the same writes applied
+    to a local bytearray (one-sided ordering per §: puts from one PE to one
+    target apply in issue order — FM's in-order delivery guarantees it)."""
+    cluster = Cluster(2, machine=PPRO_FM2, fm_version=2)
+    shmems = [Shmem(node, 2) for node in cluster.nodes]
+    for sh in shmems:
+        sh.register_region(REGION, SIZE)
+    mirror = bytearray(SIZE)
+    for offset, data in ops:
+        mirror[offset: offset + len(data)] = data
+
+    def pe0(node):
+        for offset, data in ops:
+            yield from shmems[0].put(1, REGION, offset, data)
+        yield from shmems[0].fence()
+        yield from shmems[0].barrier()
+
+    def pe1(node):
+        yield from shmems[1].barrier()
+
+    cluster.run([pe0, pe1])
+    assert shmems[1].region(REGION).read() == bytes(mirror)
+
+
+@SIM_SETTINGS
+@given(ops=put_ops(), probe_offset=st.integers(0, SIZE - 16))
+def test_get_reads_back_what_puts_wrote(ops, probe_offset):
+    cluster = Cluster(2, machine=PPRO_FM2, fm_version=2)
+    shmems = [Shmem(node, 2) for node in cluster.nodes]
+    for sh in shmems:
+        sh.register_region(REGION, SIZE)
+    mirror = bytearray(SIZE)
+    for offset, data in ops:
+        mirror[offset: offset + len(data)] = data
+    out = {}
+
+    def pe0(node):
+        for offset, data in ops:
+            yield from shmems[0].put(1, REGION, offset, data)
+        yield from shmems[0].fence()
+        out["read"] = yield from shmems[0].get(1, REGION, probe_offset, 16)
+        yield from shmems[0].barrier()
+
+    def pe1(node):
+        yield from shmems[1].barrier()
+
+    cluster.run([pe0, pe1])
+    assert out["read"] == bytes(mirror[probe_offset: probe_offset + 16])
+
+
+@SIM_SETTINGS
+@given(seed=st.integers(0, 2**31 - 1),
+       n_patches=st.integers(1, 5))
+def test_ga_random_patches_mirror_numpy(seed, n_patches):
+    """Random GA put patches equal the same assignments on a numpy array."""
+    rows, cols, n_pes = 12, 6, 3
+    rng = np.random.default_rng(seed)
+    cluster = Cluster(n_pes, machine=PPRO_FM2, fm_version=2)
+    shmems = [Shmem(node, n_pes) for node in cluster.nodes]
+    arrays = [GlobalArray(shmems[i], REGION, rows, cols) for i in range(n_pes)]
+
+    patches = []
+    for _ in range(n_patches):
+        row_lo = int(rng.integers(0, rows - 1))
+        height = int(rng.integers(1, rows - row_lo + 1))
+        col_lo = int(rng.integers(0, cols - 1))
+        width = int(rng.integers(1, cols - col_lo + 1))
+        values = rng.normal(size=(height, width))
+        patches.append((row_lo, col_lo, values))
+
+    mirror = np.zeros((rows, cols))
+    for row_lo, col_lo, values in patches:
+        mirror[row_lo: row_lo + values.shape[0],
+               col_lo: col_lo + values.shape[1]] = values
+    out = {}
+
+    def pe0(node):
+        for row_lo, col_lo, values in patches:
+            yield from arrays[0].put(row_lo, values, col_lo)
+        yield from arrays[0].sync()
+        out["full"] = yield from arrays[0].get(0, rows)
+        yield from shmems[0].barrier()
+
+    def other(rank):
+        def program(node):
+            yield from arrays[rank].sync()
+            yield from shmems[rank].barrier()
+        return program
+
+    cluster.run([pe0] + [other(rank) for rank in range(1, n_pes)])
+    assert np.allclose(out["full"], mirror)

@@ -1,0 +1,294 @@
+"""Sockets-FM: handshake, byte-stream semantics, posting, pacing."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cluster import Cluster
+from repro.configs import PPRO_FM2, SPARC_FM1
+from repro.hardware.memory import Buffer
+from repro.upper.sockets import Socket, SocketError, SocketStack
+
+
+def make_pair(n_nodes=2):
+    cluster = Cluster(n_nodes, machine=PPRO_FM2, fm_version=2)
+    stacks = [SocketStack(node) for node in cluster.nodes]
+    return cluster, stacks
+
+
+class TestConnectionSetup:
+    def test_connect_accept_established(self):
+        cluster, stacks = make_pair()
+        out = {}
+        def server(node):
+            stacks[0].listen()
+            sock = yield from stacks[0].accept()
+            out["server"] = sock.established
+        def client(node):
+            sock = yield from stacks[1].connect(0)
+            out["client"] = sock.established
+        cluster.run([server, client])
+        assert out == {"server": True, "client": True}
+
+    def test_accept_without_listen_rejected(self):
+        cluster, stacks = make_pair()
+        def server(node):
+            yield from stacks[0].accept()
+        with pytest.raises(SocketError, match="listen"):
+            cluster.run([server, None])
+
+    def test_syn_to_non_listening_node_fails(self):
+        cluster, stacks = make_pair()
+        def client(node):
+            yield from stacks[1].connect(0)
+        def idle_server(node):
+            # Progress so the SYN is actually processed (and rejected).
+            for _ in range(50):
+                yield from stacks[0].progress(4096)
+                yield node.env.timeout(1_000)
+        with pytest.raises(SocketError, match="not listening"):
+            cluster.run([client, None][::-1] if False else [idle_server, client])
+
+    def test_multiple_connections_to_one_server(self):
+        cluster, stacks = make_pair(3)
+        got = []
+        def server(node):
+            stacks[0].listen()
+            for _ in range(2):
+                sock = yield from stacks[0].accept()
+                data = yield from sock.recv_exactly(5)
+                got.append(data)
+        def make_client(i):
+            def client(node):
+                sock = yield from stacks[i].connect(0)
+                yield from sock.send(f"from{i}".encode())
+            return client
+        cluster.run([server, make_client(1), make_client(2)])
+        assert sorted(got) == [b"from1", b"from2"]
+
+    def test_send_before_connect_rejected(self):
+        cluster, stacks = make_pair()
+        sock = Socket(stacks[0], 99)
+        with pytest.raises(SocketError, match="not connected"):
+            next(sock.send(b"x"))
+
+    def test_requires_fm2(self):
+        cluster = Cluster(2, machine=SPARC_FM1, fm_version=1)
+        with pytest.raises(SocketError, match="FM 2.x"):
+            SocketStack(cluster.node(0))
+
+
+class TestByteStream:
+    def run_echo(self, to_send, recv_sizes):
+        """Server echoes everything; client checks the stream."""
+        cluster, stacks = make_pair()
+        total = len(to_send)
+        out = {}
+        def server(node):
+            stacks[0].listen()
+            sock = yield from stacks[0].accept()
+            data = yield from sock.recv_exactly(total)
+            yield from sock.send(data)
+        def client(node):
+            sock = yield from stacks[1].connect(0)
+            yield from sock.send(to_send)
+            chunks = []
+            for size in recv_sizes:
+                chunks.append((yield from sock.recv_exactly(size)))
+            out["echo"] = b"".join(chunks)
+        cluster.run([server, client])
+        return out["echo"]
+
+    def test_roundtrip_small(self):
+        assert self.run_echo(b"hello", [5]) == b"hello"
+
+    def test_recv_chunking_independent_of_send_chunking(self):
+        payload = bytes(i % 251 for i in range(3000))
+        echo = self.run_echo(payload, [1, 999, 2000])
+        assert echo == payload
+
+    def test_multi_segment_transfer(self):
+        payload = bytes(i % 256 for i in range(20_000))   # > SEGMENT_BYTES
+        assert self.run_echo(payload, [20_000]) == payload
+
+    def test_recv_returns_available_upto_n(self):
+        cluster, stacks = make_pair()
+        out = {}
+        def server(node):
+            stacks[0].listen()
+            sock = yield from stacks[0].accept()
+            yield from sock.send(b"0123456789")
+        def client(node):
+            sock = yield from stacks[1].connect(0)
+            first = yield from sock.recv(4)
+            rest = yield from sock.recv_exactly(10 - len(first))
+            out["data"] = first + rest
+            assert 1 <= len(first) <= 4
+        cluster.run([server, client])
+        assert out["data"] == b"0123456789"
+
+    def test_invalid_recv_size(self):
+        cluster, stacks = make_pair()
+        def client(node):
+            sock = yield from stacks[1].connect(0)
+            yield from sock.recv(0)
+        def server(node):
+            stacks[0].listen()
+            yield from stacks[0].accept()
+        with pytest.raises(SocketError, match="positive"):
+            cluster.run([server, client])
+
+
+class TestClose:
+    def test_recv_returns_empty_after_fin(self):
+        cluster, stacks = make_pair()
+        out = {}
+        def server(node):
+            stacks[0].listen()
+            sock = yield from stacks[0].accept()
+            yield from sock.send(b"bye")
+            yield from sock.close()
+        def client(node):
+            sock = yield from stacks[1].connect(0)
+            data = yield from sock.recv_exactly(3)
+            end = yield from sock.recv(10)
+            out["data"], out["end"] = data, end
+        cluster.run([server, client])
+        assert out == {"data": b"bye", "end": b""}
+
+    def test_send_after_close_rejected(self):
+        cluster, stacks = make_pair()
+        def server(node):
+            stacks[0].listen()
+            sock = yield from stacks[0].accept()
+            yield from sock.close()
+            yield from sock.send(b"zombie")
+        def client(node):
+            yield from stacks[1].connect(0)
+            for _ in range(20):
+                yield from stacks[1].progress(4096)
+                yield node.env.timeout(1_000)
+        with pytest.raises(SocketError, match="after close"):
+            cluster.run([server, client])
+
+    def test_recv_exactly_raises_on_early_close(self):
+        cluster, stacks = make_pair()
+        def server(node):
+            stacks[0].listen()
+            sock = yield from stacks[0].accept()
+            yield from sock.send(b"ab")
+            yield from sock.close()
+        def client(node):
+            sock = yield from stacks[1].connect(0)
+            yield from sock.recv_exactly(10)
+        with pytest.raises(SocketError, match="closed after 2"):
+            cluster.run([server, client])
+
+
+class TestReceivePosting:
+    def test_recv_into_fills_destination(self):
+        cluster, stacks = make_pair()
+        payload = bytes(i % 199 for i in range(6000))
+        out = {}
+        def server(node):
+            stacks[0].listen()
+            sock = yield from stacks[0].accept()
+            yield from sock.send(payload)
+        def client(node):
+            sock = yield from stacks[1].connect(0)
+            dest = Buffer(6000, name="dest")
+            n = yield from sock.recv_into(dest, 0, 6000)
+            out["n"], out["data"] = n, dest.read()
+        cluster.run([server, client])
+        assert out["n"] == 6000
+        assert out["data"] == payload
+
+    def test_posted_receive_lands_directly(self):
+        """Segments arriving while posted go straight to the user buffer:
+        the socket's own rx buffering stays empty."""
+        cluster, stacks = make_pair()
+        payload = bytes(4096)
+        observed = {}
+        def server(node):
+            stacks[0].listen()
+            sock = yield from stacks[0].accept()
+            yield node.env.timeout(100_000)   # let the client post first
+            yield from sock.send(payload)
+        def client(node):
+            sock = yield from stacks[1].connect(0)
+            dest = Buffer(4096)
+            yield from sock.recv_into(dest, 0, 4096)
+            observed["rx_bytes"] = sock.rx_bytes
+        cluster.run([server, client])
+        assert observed["rx_bytes"] == 0
+
+    def test_double_post_rejected(self):
+        cluster, stacks = make_pair()
+        def server(node):
+            stacks[0].listen()
+            sock = yield from stacks[0].accept()
+            yield from sock.send(bytes(10))
+        def client(node):
+            sock = yield from stacks[1].connect(0)
+            sock.posted = (Buffer(4), 0, 4)
+            yield from sock.recv_into(Buffer(4), 0, 4)
+        with pytest.raises(SocketError, match="another receive"):
+            cluster.run([server, client])
+
+
+class TestPacing:
+    def test_slow_reader_backpressures_sender(self):
+        """A paced reader keeps unread data in the network, not in socket
+        buffers — FM flow control throttles the sender."""
+        cluster, stacks = make_pair()
+        total = 64 * 1024
+        out = {}
+        def server(node):
+            stacks[0].listen()
+            sock = yield from stacks[0].accept()
+            start = node.env.now
+            yield from sock.send(bytes(total))
+            out["send_time"] = node.env.now - start
+        def client(node):
+            sock = yield from stacks[1].connect(0)
+            got = 0
+            max_buffered = 0
+            while got < total:
+                chunk = yield from sock.recv(512)
+                got += len(chunk)
+                max_buffered = max(max_buffered, sock.rx_bytes)
+                yield from node.cpu.compute(10_000)
+            out["max_buffered"] = max_buffered
+        cluster.run([server, client])
+        # Socket-level buffering stays bounded near one segment.
+        assert out["max_buffered"] <= 8192
+        # And the sender took roughly as long as the reader (throttled).
+        assert out["send_time"] > 500_000
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(chunks=st.lists(st.binary(min_size=1, max_size=2000), min_size=1,
+                       max_size=8),
+       recv_unit=st.integers(min_value=1, max_value=4096))
+def test_any_write_chunking_reads_back_identically(chunks, recv_unit):
+    """Property: socket is a byte stream — write boundaries are invisible."""
+    cluster, stacks = make_pair()
+    blob = b"".join(chunks)
+    out = {}
+    def server(node):
+        stacks[0].listen()
+        sock = yield from stacks[0].accept()
+        for chunk in chunks:
+            yield from sock.send(chunk)
+        yield from sock.close()
+    def client(node):
+        sock = yield from stacks[1].connect(0)
+        received = bytearray()
+        while True:
+            piece = yield from sock.recv(recv_unit)
+            if not piece:
+                break
+            received += piece
+        out["data"] = bytes(received)
+    cluster.run([server, client])
+    assert out["data"] == blob

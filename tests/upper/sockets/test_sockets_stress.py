@@ -1,0 +1,84 @@
+"""Socket stress: many concurrent connections through one server node."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.configs import PPRO_FM2
+from repro.upper.sockets import SocketStack, Wsa
+from repro.hardware.memory import Buffer
+
+N_CLIENTS = 6
+BLOB = 4096
+
+
+class TestManyConnections:
+    def test_six_clients_echo_concurrently(self):
+        cluster = Cluster(N_CLIENTS + 1, machine=PPRO_FM2, fm_version=2)
+        stacks = [SocketStack(node) for node in cluster.nodes]
+        results = {}
+
+        def server(node):
+            stack = stacks[0]
+            stack.listen()
+            wsa = Wsa(stack)
+            conns = []
+            for _ in range(N_CLIENTS):
+                conns.append((yield from stack.accept()))
+            buffers = [Buffer(BLOB) for _ in range(N_CLIENTS)]
+            operations = [wsa.recv(conns[i], buffers[i], 0, BLOB)
+                          for i in range(N_CLIENTS)]
+            # Echo each blob back as its receive completes.
+            remaining = list(range(N_CLIENTS))
+            while remaining:
+                index = yield from wsa.wait_any(
+                    [operations[i] for i in remaining])
+                which = remaining.pop(index)
+                send_op = wsa.send(conns[which], buffers[which].read())
+                yield from wsa.get_overlapped_result(send_op)
+
+        def make_client(client_id: int):
+            def client(node):
+                stack = stacks[client_id]
+                sock = yield from stack.connect(0)
+                payload = bytes([client_id]) * BLOB
+                yield from sock.send(payload)
+                echo = yield from sock.recv_exactly(BLOB)
+                results[client_id] = echo == payload
+            return client
+
+        cluster.run([server] + [make_client(i) for i in range(1, N_CLIENTS + 1)])
+        assert len(results) == N_CLIENTS
+        assert all(results.values())
+
+    def test_interleaved_segments_stay_per_connection(self):
+        """Two clients streaming simultaneously: segments interleave on the
+        server's extract path but bytes never cross connections."""
+        cluster = Cluster(3, machine=PPRO_FM2, fm_version=2)
+        stacks = [SocketStack(node) for node in cluster.nodes]
+        out = {}
+
+        def server(node):
+            stack = stacks[0]
+            stack.listen()
+            conns = []
+            for _ in range(2):
+                conns.append((yield from stack.accept()))
+            # Drain both streams with small alternating reads.
+            received = [bytearray(), bytearray()]
+            while any(len(r) < 12_000 for r in received):
+                for index, sock in enumerate(conns):
+                    if len(received[index]) < 12_000:
+                        chunk = yield from sock.recv(700)
+                        received[index] += chunk
+            out["server"] = [bytes(r) for r in received]
+
+        def make_client(client_id: int):
+            def client(node):
+                sock = yield from stacks[client_id].connect(0)
+                yield from sock.send(bytes([client_id]) * 12_000)
+            return client
+
+        cluster.run([server, make_client(1), make_client(2)])
+        blobs = sorted(out["server"], key=lambda blob: blob[0])
+        assert blobs[0] == bytes([1]) * 12_000
+        assert blobs[1] == bytes([2]) * 12_000
