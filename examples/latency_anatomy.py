@@ -7,19 +7,27 @@ component-utilisation profile of a bandwidth stream, and the first-order
 analytic model's predictions next to the simulated measurements — the
 workflow a performance engineer would use on this library.
 
+Each journey also runs with the observability layer attached and is
+exported as a Perfetto/Chrome trace-event file under ``out/`` — open it at
+https://ui.perfetto.dev to see every layer crossing on its own track.
+
 Run:  python examples/latency_anatomy.py
 """
+
+from pathlib import Path
 
 from repro.bench.calibration import (
     predicted_bandwidth_mbs,
     predicted_latency_us,
 )
-from repro.bench.journey import packet_journey
+from repro.bench.journey import packet_journey_detail
 from repro.bench.microbench import fm_pingpong_latency_us, fm_stream_bandwidth_mbs
 from repro.bench.utilization import fm_stream_utilization
 from repro.cluster import Cluster
 from repro.cluster.cluster import default_fm_params
 from repro.configs import PPRO_FM2, SPARC_FM1
+from repro.obs.export import export_trace
+from repro.obs.observer import Observer
 
 
 def main() -> None:
@@ -29,10 +37,17 @@ def main() -> None:
     ):
         print(f"=== {label} ===\n")
 
-        journey = packet_journey(machine, version, msg_bytes=16)
+        observer = Observer()
+        journey, _cluster = packet_journey_detail(machine, version,
+                                                  msg_bytes=16,
+                                                  observer=observer)
         print("one 16-byte message, stage by stage:")
         print(journey.render())
-        print(f"slowest stage: {journey.longest_stage()}\n")
+        print(f"slowest stage: {journey.longest_stage()}")
+        trace_path = export_trace(
+            observer, Path("out") / f"latency_anatomy_fm{version}.json")
+        print(f"perfetto trace : {trace_path} "
+              f"({len(observer.spans)} spans — open at ui.perfetto.dev)\n")
 
         latency = fm_pingpong_latency_us(Cluster(2, machine, version), 16,
                                          iterations=10)

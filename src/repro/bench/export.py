@@ -1,23 +1,31 @@
-"""CSV export of regenerated figure data.
+"""CSV/JSON export of regenerated figure data.
 
 ``python -m repro.bench.regen`` prints tables; this module writes the same
-series as CSV files so they can be plotted or diffed externally:
+series as CSV or JSON files so they can be plotted or diffed externally:
 
-    from repro.bench.export import export_figure_csv
+    from repro.bench.export import export_figure_csv, export_figure_json
     export_figure_csv("fig5", "out/")          # -> out/fig5.csv
+    export_figure_json("fig5", "out/")         # -> out/fig5.json
 
-Columns are ``size_bytes`` plus one column per series, matching the
-paper's axes.
+CSV columns are ``size_bytes`` plus one column per series, matching the
+paper's axes.  JSON files are deterministic (sorted keys, canonical
+separators, via :func:`repro.obs.export.dumps_deterministic`) so repeated
+exports are byte-identical and diff cleanly.
+
+Run as a CLI: ``python -m repro.bench.export fig5 --format json -o out/``.
 """
 
 from __future__ import annotations
 
+import argparse
 import csv
 import io
+import sys
 from pathlib import Path
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.bench.sweeps import SweepResult
+from repro.obs.export import dumps_deterministic
 
 
 def sweeps_to_csv(sweeps: Sequence[SweepResult]) -> str:
@@ -104,19 +112,91 @@ FIGURE_SERIES = {
 }
 
 
-def export_figure_csv(name: str, directory: str | Path) -> Path:
-    """Regenerate one figure's series and write ``<directory>/<name>.csv``."""
+def sweeps_to_json(sweeps: Sequence[SweepResult]) -> str:
+    """Render aligned sweeps as deterministic JSON text.
+
+    The document maps ``sizes`` to the shared size axis and ``series`` to
+    ``{label: [bandwidth_mbs, ...]}``; bandwidths are rounded to 4 decimal
+    places (the same precision the CSV export uses) so that the output is a
+    stable function of the simulated results.
+    """
+    if not sweeps:
+        raise ValueError("need at least one sweep")
+    sizes = sweeps[0].sizes
+    for sweep in sweeps[1:]:
+        if sweep.sizes != sizes:
+            raise ValueError("sweeps cover different sizes")
+    document = {
+        "sizes": list(sizes),
+        "series": {
+            sweep.label: [round(b, 4) for b in sweep.bandwidths_mbs]
+            for sweep in sweeps
+        },
+    }
+    return dumps_deterministic(document)
+
+
+def _figure_sweeps(name: str) -> list[SweepResult]:
     if name not in FIGURE_SERIES:
         raise ValueError(
             f"unknown figure {name!r}; choices: {sorted(FIGURE_SERIES)}"
         )
+    return FIGURE_SERIES[name]()
+
+
+def _export_figure(name: str, directory: str | Path, fmt: str) -> Path:
+    renderers = {"csv": sweeps_to_csv, "json": sweeps_to_json}
+    if fmt not in renderers:
+        raise ValueError(f"unknown format {fmt!r}; choices: {sorted(renderers)}")
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
-    path = directory / f"{name}.csv"
-    path.write_text(sweeps_to_csv(FIGURE_SERIES[name]()))
+    path = directory / f"{name}.{fmt}"
+    path.write_text(renderers[fmt](_figure_sweeps(name)))
     return path
 
 
-def export_all(directory: str | Path) -> list[Path]:
-    """Export every curve figure as CSV; returns the written paths."""
-    return [export_figure_csv(name, directory) for name in FIGURE_SERIES]
+def export_figure_csv(name: str, directory: str | Path) -> Path:
+    """Regenerate one figure's series and write ``<directory>/<name>.csv``."""
+    return _export_figure(name, directory, "csv")
+
+
+def export_figure_json(name: str, directory: str | Path) -> Path:
+    """Regenerate one figure's series and write ``<directory>/<name>.json``."""
+    return _export_figure(name, directory, "json")
+
+
+def export_all(directory: str | Path, fmt: str = "csv") -> list[Path]:
+    """Export every curve figure in ``fmt``; returns the written paths."""
+    return [_export_figure(name, directory, fmt) for name in FIGURE_SERIES]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI: regenerate figure data and write CSV/JSON files."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.export",
+        description="Regenerate paper-figure series and export them as files.",
+    )
+    parser.add_argument(
+        "figure", choices=sorted(FIGURE_SERIES) + ["all"],
+        help="which figure to export (or 'all')",
+    )
+    parser.add_argument(
+        "--format", choices=("csv", "json"), default="csv",
+        help="output format (default: csv)",
+    )
+    parser.add_argument(
+        "-o", "--out-dir", default="out",
+        help="directory to write into (default: ./out)",
+    )
+    opts = parser.parse_args(argv)
+    if opts.figure == "all":
+        paths = export_all(opts.out_dir, opts.format)
+    else:
+        paths = [_export_figure(opts.figure, opts.out_dir, opts.format)]
+    for path in paths:
+        print(path)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main() in tests
+    sys.exit(main())

@@ -83,6 +83,25 @@ class Cluster:
     def node(self, i: int) -> Node:
         return self.nodes[i]
 
+    def observe(self, observer=None):
+        """Attach an :class:`~repro.obs.observer.Observer` to this cluster.
+
+        Creates one (with a fresh metrics registry) when ``observer`` is
+        ``None``, hooks it onto the environment so every instrumented layer
+        starts emitting spans, and federates each node's CPU copy meter under
+        the label ``node<i>.cpu``.  Returns the observer.  Observation is
+        purely passive: simulated results are bit-identical with or without
+        it.
+        """
+        from repro.obs.observer import Observer  # deferred: obs is optional
+
+        if observer is None:
+            observer = Observer()
+        observer.attach(self.env)
+        for i, node in enumerate(self.nodes):
+            observer.metrics.register_copy_meter(f"node{i}.cpu", node.cpu.meter)
+        return observer
+
     # -- program execution ------------------------------------------------------
     def spawn(self, program: Program, node_id: int, name: str = "") -> Process:
         """Start a program on a node (does not run the simulation)."""

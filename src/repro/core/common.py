@@ -172,6 +172,8 @@ class FmEndpoint:
 
     def acquire_credit(self, dest: int) -> Generator:
         """Spend one credit toward ``dest``, spinning until one is available."""
+        obs = self.env.obs
+        t0 = self.env.now
         waited = 0
         stalled = False
         while self.credits_available(dest) == 0:
@@ -191,6 +193,11 @@ class FmEndpoint:
                     f"credits to send to node {dest} (protocol deadlock?)"
                 )
         self._credits[dest] -= 1
+        if obs is not None and stalled:
+            obs.span("fm", "credit_stall", t0,
+                     track=f"node{self.node_id}/fm", dest=dest)
+            obs.metrics.histogram("fm.credit_stall_ns").record(
+                self.env.now - t0)
 
     # -- packet construction and injection -----------------------------------------
     def make_header(self, dest: int, handler_id: int, msg_id: int, seq: int,
@@ -208,9 +215,15 @@ class FmEndpoint:
         """
         nbytes = packet.wire_bytes if pio_bytes is None else pio_bytes
         self.fabric.stamp_route(packet)
+        obs = self.env.obs
+        t0 = self.env.now
         yield from self.bus.pio_write(self.cpu, nbytes)
         yield from self.nic.submit(packet)
         self.stats_sent_packets += 1
+        if obs is not None:
+            obs.span("fm", "inject", t0, track=f"node{self.node_id}/fm",
+                     dest=packet.header.dest, pio_bytes=nbytes,
+                     wire_bytes=packet.wire_bytes)
 
     # -- receiver-side credit returns ------------------------------------------------
     def note_packet_processed(self, src: int) -> Generator:
@@ -234,9 +247,15 @@ class FmEndpoint:
         )
         header.credit_return = pending
         packet = Packet(header, b"")
+        obs = self.env.obs
+        t0 = self.env.now
         yield from self.cpu.per_packet()
         yield from self.inject(packet)
         self.stats_credit_packets += 1
+        if obs is not None:
+            obs.span("fm", "credit_return", t0,
+                     track=f"node{self.node_id}/fm", dest=src,
+                     credits=pending)
 
     # -- introspection -----------------------------------------------------------
     def outstanding_credits(self, dest: int) -> int:

@@ -60,6 +60,8 @@ class FM1(FmEndpoint):
         if size < 0:
             raise FmProtocolError(f"negative message size {size}")
         self.handlers_check(handler_id, dest)
+        obs = self.env.obs
+        t0 = self.env.now
         yield from self.cpu.per_message()
         msg_id = self.alloc_msg_id(dest)
         payload_cap = self.params.packet_payload
@@ -80,6 +82,9 @@ class FM1(FmEndpoint):
             yield from self.acquire_credit(dest)
             yield from self.inject(packet)
         self.stats_sent_messages += 1
+        if obs is not None:
+            obs.span("fm", "FM_send", t0, track=f"node{self.node_id}/fm",
+                     dest=dest, bytes=size, packets=n_packets)
 
     # -- Table 1: FM_send_4(dest, handler, i0..i3) --------------------------------
     def send_4(self, dest: int, handler_id: int, words: bytes) -> Generator:
@@ -100,10 +105,15 @@ class FM1(FmEndpoint):
             PacketFlags.FIRST | PacketFlags.LAST,
         )
         packet = Packet(header, words)
+        obs = self.env.obs
+        t0 = self.env.now
         yield from self.cpu.per_packet()
         yield from self.acquire_credit(dest)
         yield from self.inject(packet)
         self.stats_sent_messages += 1
+        if obs is not None:
+            obs.span("fm", "FM_send_4", t0, track=f"node{self.node_id}/fm",
+                     dest=dest, bytes=SEND4_BYTES)
 
     # -- Table 1: FM_extract() ------------------------------------------------
     def extract(self, max_packets: Optional[int] = None) -> Generator:
@@ -117,6 +127,8 @@ class FM1(FmEndpoint):
         Returns the number of handlers invoked.  ``max_packets`` is a
         simulation-side safety valve only, not part of the FM 1.1 API.
         """
+        obs = self.env.obs
+        t0 = self.env.now
         yield from self.cpu.poll()
         handled = 0
         processed = 0
@@ -126,6 +138,9 @@ class FM1(FmEndpoint):
                 break
             processed += 1
             handled += (yield from self._process_packet(packet))
+        if obs is not None and processed:
+            obs.span("fm", "FM_extract", t0, track=f"node{self.node_id}/fm",
+                     packets=processed, handlers=handled)
         return handled
 
     # -- internals ----------------------------------------------------------------
@@ -148,6 +163,9 @@ class FM1(FmEndpoint):
                 "effectively-zero error rate and has no recovery (§3.1)"
             )
         self.stats_recv_packets += 1
+        obs = self.env.obs
+        if obs is not None:
+            obs.packet_done(packet, "extract", self.env.now)
         yield from self.note_packet_processed(header.src)
 
         key = (header.src, header.msg_id)
@@ -187,6 +205,11 @@ class FM1(FmEndpoint):
         del self._reassembly[key]
         self.stats_recv_messages += 1
         handler = self.handlers.lookup(entry.handler_id)
+        t_handler = self.env.now
         yield from self.cpu.call()
         yield from handler(self, header.src, entry.staging, entry.msg_bytes)
+        if obs is not None:
+            obs.span("app", "handler", t_handler,
+                     track=f"node{self.node_id}/app", src=header.src,
+                     bytes=entry.msg_bytes)
         return 1

@@ -49,19 +49,37 @@ class FM2(FmEndpoint):
         if dest == self.node_id:
             raise FmProtocolError("FM does not support self-sends")
         self.handlers.lookup(handler_id)
+        obs = self.env.obs
+        t0 = self.env.now
         yield from self.cpu.per_message()
+        if obs is not None:
+            obs.span("fm", "FM_begin_message", t0,
+                     track=f"node{self.node_id}/fm", dest=dest,
+                     bytes=msg_bytes)
         return SendStream(self, dest, handler_id, msg_bytes)
 
     def send_piece(self, stream: SendStream, buf: Buffer, offset: int,
                    nbytes: int) -> Generator:
         """Append a piece of arbitrary size to the message (FM_send_piece)."""
+        obs = self.env.obs
+        t0 = self.env.now
         yield from self.cpu.call()
         yield from stream.push_piece(buf, offset, nbytes)
+        if obs is not None:
+            obs.span("fm", "FM_send_piece", t0,
+                     track=f"node{self.node_id}/fm", dest=stream.dest,
+                     bytes=nbytes)
 
     def end_message(self, stream: SendStream) -> Generator:
         """Close the message; flushes the final packet (FM_end_message)."""
+        obs = self.env.obs
+        t0 = self.env.now
         yield from stream.finish()
         self.stats_sent_messages += 1
+        if obs is not None:
+            obs.span("fm", "FM_end_message", t0,
+                     track=f"node{self.node_id}/fm", dest=stream.dest,
+                     bytes=stream.msg_bytes)
 
     def send_buffer(self, dest: int, handler_id: int, buf: Buffer, nbytes: int,
                     offset: int = 0) -> Generator:
@@ -84,6 +102,8 @@ class FM2(FmEndpoint):
         """
         if max_bytes is not None and max_bytes < 0:
             raise FmProtocolError(f"negative extract budget {max_bytes}")
+        obs = self.env.obs
+        t0 = self.env.now
         yield from self.cpu.poll()
         extracted = 0
         while max_bytes is None or extracted < max_bytes:
@@ -91,6 +111,9 @@ class FM2(FmEndpoint):
             if packet is None:
                 break
             extracted += (yield from self._process_packet(packet))
+        if obs is not None and extracted:
+            obs.span("fm", "FM_extract", t0, track=f"node{self.node_id}/fm",
+                     bytes=extracted)
         return extracted
 
     def pending_handlers(self) -> int:
@@ -108,6 +131,9 @@ class FM2(FmEndpoint):
                 "effectively-zero error rate and has no recovery (§3.1)"
             )
         self.stats_recv_packets += 1
+        obs = self.env.obs
+        if obs is not None:
+            obs.packet_done(packet, "extract", self.env.now)
         yield from self.note_packet_processed(header.src)
 
         key = (header.src, header.msg_id)

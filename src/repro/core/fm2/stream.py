@@ -163,6 +163,8 @@ class RecvStream:
                 f"FM_receive of {nbytes} bytes exceeds the {self.remaining} "
                 f"bytes remaining in the {self.msg_bytes}-byte message"
             )
+        obs = self.fm.env.obs
+        t0 = self.fm.env.now
         copied = 0
         while copied < nbytes:
             if not self._chunks:
@@ -178,6 +180,10 @@ class RecvStream:
                 self._chunks.appendleft(chunk[take:])
             copied += take
             self.consumed_bytes += take
+        if obs is not None:
+            obs.span("fm", "FM_receive", t0,
+                     track=f"node{self.fm.node_id}/fm", src=self.src,
+                     bytes=nbytes)
 
     def receive_bytes(self, nbytes: int) -> Generator:
         """Convenience: receive into a fresh buffer and return the bytes."""

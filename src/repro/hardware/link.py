@@ -73,11 +73,19 @@ class Link:
     def _serialise(self):
         while True:
             packet: Packet = yield self.ingress.get()
+            obs = self.env.obs
+            t0 = self.env.now
             yield self.env.timeout(self.wire_time(packet))
             packet.stamp(f"{self.name}.wire", self.env.now)
             self._maybe_corrupt(packet)
             self.packets += 1
             self.bytes += packet.wire_bytes
+            if obs is not None:
+                obs.span("fabric", "wire", t0, track=f"fabric/{self.name}",
+                         src=packet.header.src, dest=packet.header.dest,
+                         bytes=packet.wire_bytes)
+                obs.metrics.meter("link.bytes", link=self.name).mark(
+                    packet.wire_bytes)
             # Tag with earliest possible arrival so propagation pipelines.
             yield self._flight.put((packet, self.env.now + self.params.propagation_ns))
 

@@ -99,14 +99,23 @@ class Nic:
         assert self.tx_link is not None
         while True:
             packet: Packet = yield self.tx_sram.get()
+            obs = self.env.obs
+            t0 = self.env.now
             yield self.env.timeout(self.params.firmware_send_ns)
             self.sent_packets += 1
             packet.stamp(f"{self.name}.inject", self.env.now)
+            if obs is not None:
+                obs.span("nic", "tx_firmware", t0,
+                         track=f"node{self.node_id}/nic.tx",
+                         dest=packet.header.dest, seq=packet.header.seq,
+                         bytes=packet.wire_bytes)
             yield self.tx_link.ingress.put(packet)
 
     def _rx_firmware(self):
         while True:
             packet: Packet = yield self.rx_sram.get()
+            obs = self.env.obs
+            t0 = self.env.now
             yield self.env.timeout(self.params.firmware_recv_ns)
             if packet.header.is_control:
                 # Credit return: update the mailbox, consume no host slot.
@@ -115,10 +124,22 @@ class Nic:
                     self.credit_mailbox.get(peer, 0) + packet.header.credit_return
                 )
                 self.control_packets += 1
+                if obs is not None:
+                    obs.span("nic", "credit_absorb", t0,
+                             track=f"node{self.node_id}/nic.rx", src=peer,
+                             credits=packet.header.credit_return)
                 continue
             yield from self.recv_dma.transfer(packet.wire_bytes)
             self.received_packets += 1
             packet.stamp(f"{self.name}.dma_done", self.env.now)
+            if obs is not None:
+                obs.span("nic", "rx_dma", t0,
+                         track=f"node{self.node_id}/nic.rx",
+                         src=packet.header.src, seq=packet.header.seq,
+                         bytes=packet.wire_bytes)
+                obs.metrics.histogram("nic.recv_region_depth",
+                                      nic=self.name).record(
+                    self.recv_region.level)
             yield self.recv_region.put(packet)
 
     def __repr__(self) -> str:

@@ -63,6 +63,8 @@ class Switch:
         in_store = self.in_ports[port]
         while True:
             packet: Packet = yield in_store.get()
+            obs = self.env.obs
+            t0 = self.env.now
             yield self.env.timeout(self.params.routing_ns)
             if not packet.route:
                 raise RoutingError(
@@ -82,6 +84,10 @@ class Switch:
                 )
             self.forwarded += 1
             packet.stamp(f"{self.name}.forward", self.env.now)
+            if obs is not None:
+                obs.span("fabric", "forward", t0, track=f"fabric/{self.name}",
+                         in_port=port, out_port=out_port,
+                         src=packet.header.src, dest=packet.header.dest)
             yield link.ingress.put(packet)
 
     def __repr__(self) -> str:

@@ -1,0 +1,55 @@
+"""Unified cross-layer observability: spans, metrics, trace export, reports.
+
+The paper's central evidence is *attribution* — where the microseconds go
+as a message crosses layer interfaces.  This package makes that a first-
+class capability of the simulator for arbitrary traffic:
+
+* :mod:`repro.obs.span` — ``Span(layer, name, t_start, t_end, attrs)``
+  records emitted at every instrumented layer crossing;
+* :mod:`repro.obs.observer` — the ``env.obs`` hook instrumented code
+  reports to (off by default, zero simulated-time cost, deterministic);
+* :mod:`repro.obs.metrics` — named histograms, windowed rate meters, and
+  the pre-existing ``Counters`` / ``CopyMeter`` primitives federated under
+  one per-cluster registry;
+* :mod:`repro.obs.export` — Perfetto / Chrome trace-event JSON export
+  (open any run in ``ui.perfetto.dev``);
+* :mod:`repro.obs.report` — the per-stage breakdown report CLI
+  (``python -m repro.obs.report <scenario>``).
+
+Quickstart::
+
+    cluster = Cluster(2, machine=PPRO_FM2, fm_version=2)
+    obs = cluster.observe()            # attach; instrumentation wakes up
+    ... run programs ...
+    export_trace(obs, "out/run.json")  # -> ui.perfetto.dev
+    print(obs.metrics.histogram("packet.latency_ns").p99)
+"""
+
+from repro.obs.export import (
+    dumps_deterministic,
+    distinct_tracks,
+    export_trace,
+    trace_events,
+    validate_trace_events,
+)
+from repro.obs.metrics import Histogram, Metrics, RateMeter
+from repro.obs.observer import Observer
+from repro.obs.span import LAYER_ORDER, Span
+
+# repro.obs.report is deliberately NOT re-exported here: importing it at
+# package level makes ``python -m repro.obs.report`` warn about the module
+# being loaded twice (runpy).  Import it directly where needed.
+
+__all__ = [
+    "Histogram",
+    "LAYER_ORDER",
+    "Metrics",
+    "Observer",
+    "RateMeter",
+    "Span",
+    "distinct_tracks",
+    "dumps_deterministic",
+    "export_trace",
+    "trace_events",
+    "validate_trace_events",
+]

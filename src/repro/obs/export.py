@@ -1,0 +1,150 @@
+"""Perfetto / Chrome trace-event JSON export of recorded spans.
+
+Any observed run can be written as a Chrome trace-event file and opened in
+``ui.perfetto.dev`` (or ``chrome://tracing``): every distinct span track
+becomes its own timeline row, grouped by process (``node0``, ``node1``,
+``fabric`` ...).  The exporter emits only the stable subset of the
+trace-event format:
+
+* ``"X"`` (complete) events — one per span, ``ts``/``dur`` in microseconds
+  as the format requires (fractional, since our clock is nanoseconds);
+* ``"M"`` (metadata) events — ``process_name`` / ``thread_name`` so the UI
+  shows component names instead of bare ids.
+
+Output is canonical: events are sorted, keys are sorted, and the encoder
+is configured so that two identical runs produce **byte-identical** files
+(pinned by ``tests/test_determinism.py``).  :func:`validate_trace_events`
+checks conformance against the schema subset and is used by the tests.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable
+
+from repro.obs.span import Span
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.observer import Observer
+
+
+def dumps_deterministic(obj) -> str:
+    """Canonical JSON: sorted keys, minimal separators, trailing newline."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False) + "\n"
+
+
+def split_track(track: str) -> tuple[str, str]:
+    """``"node0/nic.tx"`` -> ``("node0", "nic.tx")``; bare names get "main"."""
+    if "/" in track:
+        process, thread = track.split("/", 1)
+        return process, thread
+    return (track or "unknown", "main")
+
+
+def trace_events(spans: Iterable[Span]) -> dict:
+    """Build the Chrome trace-event object for a span list.
+
+    Track ids are assigned deterministically: processes sorted by name get
+    pids 1..N, threads sorted within each process get tids 1..M.
+    """
+    spans = list(spans)
+    processes: dict[str, dict[str, int]] = {}
+    for span in spans:
+        process, thread = split_track(span.track)
+        processes.setdefault(process, {})[thread] = 0
+    pids: dict[str, int] = {}
+    tids: dict[tuple[str, str], int] = {}
+    for pid, process in enumerate(sorted(processes), start=1):
+        pids[process] = pid
+        for tid, thread in enumerate(sorted(processes[process]), start=1):
+            tids[(process, thread)] = tid
+
+    events: list[dict] = []
+    for process, pid in pids.items():
+        events.append({"ph": "M", "name": "process_name", "pid": pid,
+                       "tid": 0, "args": {"name": process}})
+    for (process, thread), tid in tids.items():
+        events.append({"ph": "M", "name": "thread_name", "pid": pids[process],
+                       "tid": tid, "args": {"name": thread}})
+
+    for span in spans:
+        process, thread = split_track(span.track)
+        events.append({
+            "ph": "X",
+            "name": span.name,
+            "cat": span.layer,
+            "ts": span.t_start / 1000,          # trace-event ts unit is us
+            "dur": span.duration_ns / 1000,
+            "pid": pids[process],
+            "tid": tids[(process, thread)],
+            "args": dict(span.attrs),
+        })
+
+    events.sort(key=_event_sort_key)
+    return {"traceEvents": events, "displayTimeUnit": "ns"}
+
+
+def _event_sort_key(event: dict) -> tuple:
+    # Metadata first, then by time/track/name — a canonical total order.
+    return (0 if event["ph"] == "M" else 1, event.get("ts", 0.0),
+            event["pid"], event["tid"], event["name"],
+            event.get("dur", 0.0))
+
+
+def export_trace(observer: "Observer", path: str | Path) -> Path:
+    """Write the observer's spans as a trace-event JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(dumps_deterministic(trace_events(observer.spans)))
+    return path
+
+
+def distinct_tracks(trace: dict) -> int:
+    """Number of distinct (pid, tid) timeline rows carrying "X" events."""
+    return len({(e["pid"], e["tid"]) for e in trace["traceEvents"]
+                if e["ph"] == "X"})
+
+
+def validate_trace_events(trace: dict) -> None:
+    """Check conformance with the trace-event schema subset we emit.
+
+    Raises ``ValueError`` on the first violation; used by the export tests
+    and the observability smoke test.
+    """
+    if not isinstance(trace, dict):
+        raise ValueError(f"trace must be a JSON object, got {type(trace).__name__}")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace.traceEvents must be a list")
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            raise ValueError(f"{where} is not an object")
+        ph = event.get("ph")
+        if ph not in ("X", "M"):
+            raise ValueError(f"{where}.ph must be 'X' or 'M', got {ph!r}")
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            raise ValueError(f"{where}.name must be a non-empty string")
+        for id_field in ("pid", "tid"):
+            if not isinstance(event.get(id_field), int):
+                raise ValueError(f"{where}.{id_field} must be an int")
+        if ph == "M":
+            if event["name"] not in ("process_name", "thread_name"):
+                raise ValueError(f"{where}: unknown metadata {event['name']!r}")
+            args = event.get("args")
+            if not isinstance(args, dict) or not isinstance(args.get("name"), str):
+                raise ValueError(f"{where}.args.name must be a string")
+            continue
+        for num_field in ("ts", "dur"):
+            value = event.get(num_field)
+            if not isinstance(value, (int, float)) or value < 0:
+                raise ValueError(
+                    f"{where}.{num_field} must be a non-negative number, "
+                    f"got {value!r}"
+                )
+        if not isinstance(event.get("cat"), str) or not event["cat"]:
+            raise ValueError(f"{where}.cat must be a non-empty string")
+        if not isinstance(event.get("args"), dict):
+            raise ValueError(f"{where}.args must be an object")

@@ -1,0 +1,113 @@
+"""The Observer: the one object instrumented code talks to.
+
+Attach an :class:`Observer` to an environment (``Observer().attach(env)``,
+or the one-liner ``cluster.observe()``) and every instrumented layer
+crossing — upper-layer API calls, FM primitives, NIC firmware iterations,
+link serialisations, switch forwards — emits :class:`~repro.obs.span.Span`
+records into it, and feeds the shared :class:`~repro.obs.metrics.Metrics`
+registry.
+
+Contract with the instrumentation sites (enforced by design, pinned by
+``tests/test_determinism.py`` and ``benchmarks/test_simulator_performance``):
+
+* **off by default** — ``env.obs`` is ``None`` until an observer attaches;
+  a disabled site is one attribute read plus an ``is None`` test;
+* **zero simulated time** — recording never creates events, acquires
+  resources, or yields; simulated results are bit-identical with
+  observability on, off, or absent;
+* **deterministic** — span order is event order, so two identical runs
+  produce byte-identical exports.
+
+The observer composes with (and is independent of) the event-granularity
+:class:`~repro.simkernel.trace.Tracer`: ``env.trace`` sees every kernel
+event, ``env.obs`` sees semantic intervals.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.obs.metrics import Metrics
+from repro.obs.span import Span
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.packet import Packet
+    from repro.simkernel.env import Environment
+
+
+class Observer:
+    """Collects spans and metrics for one environment's run."""
+
+    def __init__(self, metrics: Optional[Metrics] = None):
+        self.env: Optional["Environment"] = None
+        self.spans: list[Span] = []
+        self.metrics = metrics if metrics is not None else Metrics()
+
+    # -- lifecycle ------------------------------------------------------------
+    def attach(self, env: "Environment") -> "Observer":
+        """Install as ``env.obs`` (replacing any previous observer)."""
+        self.env = env
+        if self.metrics.env is None:
+            self.metrics.env = env
+        env.obs = self
+        return self
+
+    def detach(self, env: "Environment") -> None:
+        """Remove from ``env`` (observability reverts to free)."""
+        if env.obs is self:
+            env.obs = None
+
+    # -- recording --------------------------------------------------------------
+    def span(self, layer: str, name: str, t_start: int,
+             t_end: Optional[int] = None, track: str = "",
+             **attrs: Any) -> Span:
+        """Record a completed interval; ``t_end`` defaults to ``env.now``."""
+        if t_end is None:
+            assert self.env is not None, "span() before attach()"
+            t_end = self.env.now
+        span = Span(layer, name, t_start, t_end, track, attrs)
+        self.spans.append(span)
+        return span
+
+    def packet_done(self, packet: "Packet", end_name: str, end_time: int) -> None:
+        """Fold one delivered packet's waypoints into per-stage histograms.
+
+        Called by the FM extract loops when a data packet has been fully
+        processed; generalises ``bench/journey.py``'s single-packet
+        attribution to every packet of any workload.  Each consecutive
+        waypoint pair becomes a sample of the ``packet.stage`` histogram
+        labelled with that stage, and the whole journey one sample of
+        ``packet.latency_ns``.
+        """
+        waypoints = packet.waypoints
+        if not waypoints:
+            return
+        histogram = self.metrics.histogram
+        prev_name, prev_time = waypoints[0]
+        for name, time in waypoints[1:]:
+            histogram("packet.stage",
+                      stage=f"{prev_name} -> {name}").record(time - prev_time)
+            prev_name, prev_time = name, time
+        histogram("packet.stage",
+                  stage=f"{prev_name} -> {end_name}").record(end_time - prev_time)
+        histogram("packet.latency_ns").record(end_time - waypoints[0][1])
+
+    # -- queries -----------------------------------------------------------------
+    def spans_for(self, layer: Optional[str] = None,
+                  name: Optional[str] = None,
+                  track: Optional[str] = None) -> list[Span]:
+        """Spans filtered by any combination of layer, name, and track."""
+        return [s for s in self.spans
+                if (layer is None or s.layer == layer)
+                and (name is None or s.name == name)
+                and (track is None or s.track == track)]
+
+    def tracks(self) -> list[str]:
+        """Sorted distinct component tracks that emitted at least one span."""
+        return sorted({s.track for s in self.spans})
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __repr__(self) -> str:
+        return f"<Observer spans={len(self.spans)} tracks={len(self.tracks())}>"

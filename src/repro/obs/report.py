@@ -1,0 +1,214 @@
+"""Breakdown report: where the time went in *this* run.
+
+Generalises ``bench/journey.py``'s one-idle-packet attribution to whole
+benchmark scenarios: run a scenario with full observability on, then print
+
+* the classic one-packet journey (for the ``journey-*`` scenarios) whose
+  stage durations sum exactly to the end-to-end latency;
+* the aggregate per-stage packet breakdown — count / p50 / p99 / total
+  nanoseconds per stage over **every** data packet of the run;
+* copy bytes per architectural label per host;
+* credit-stall counts and stalled nanoseconds;
+* a span summary per (layer, operation) and per-link delivered rates.
+
+Command line::
+
+    python -m repro.obs.report journey-fm2
+    python -m repro.obs.report stream-fm2 --msg-bytes 2048 --messages 40 \
+        --trace out/stream.json      # also export a Perfetto trace
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.bench.journey import Journey, packet_journey_detail
+from repro.cluster.cluster import Cluster
+from repro.configs import PPRO_FM2, SPARC_FM1
+from repro.obs.export import export_trace
+from repro.obs.observer import Observer
+from repro.obs.span import layer_rank
+
+
+@dataclass
+class BreakdownReport:
+    """The observed outcome of one scenario run."""
+
+    scenario: str
+    cluster: Cluster
+    obs: Observer
+    journey: Optional[Journey] = None   # set by the one-packet scenarios
+
+    def stage_rows(self) -> list[tuple[str, int, int, int, int]]:
+        """(stage, count, p50 ns, p99 ns, total ns) per packet stage."""
+        rows = []
+        for hist in self.obs.metrics.histograms("packet.stage"):
+            rows.append((hist.labels["stage"], hist.count, hist.p50,
+                         hist.p99, hist.total))
+        return rows
+
+    def credit_stalls(self) -> tuple[int, int]:
+        """(stall count, total stalled ns) summed over all endpoints."""
+        count = sum(node.fm.stats_credit_stalls for node in self.cluster.nodes)
+        stalled = sum(h.total for h
+                      in self.obs.metrics.histograms("fm.credit_stall_ns"))
+        return count, stalled
+
+    def render(self) -> str:
+        """The full fixed-width text report."""
+        lines = [f"breakdown report — scenario {self.scenario!r} "
+                 f"({self.cluster.machine.name}, FM{self.cluster.fm_version})"]
+        lines.append("=" * len(lines[0]))
+
+        if self.journey is not None:
+            lines += ["", "one-packet journey (stage sum == end-to-end):",
+                      self.journey.render()]
+
+        stages = self.stage_rows()
+        if stages:
+            width = max(len(s) for s, *_ in stages) + 2
+            lines += ["", "per-stage packet breakdown (all data packets):",
+                      f"{'stage':<{width}}{'count':>7}{'p50 ns':>10}"
+                      f"{'p99 ns':>10}{'total ns':>12}"]
+            for stage, count, p50, p99, total in stages:
+                lines.append(f"{stage:<{width}}{count:>7}{p50:>10}"
+                             f"{p99:>10}{total:>12}")
+            for hist in self.obs.metrics.histograms("packet.latency_ns"):
+                lines.append(
+                    f"{'end-to-end (submit -> extract)':<{width}}"
+                    f"{hist.count:>7}{hist.p50:>10}{hist.p99:>10}{hist.total:>12}")
+
+        copies = self.obs.metrics.copy_bytes_by_label()
+        if any(labels for labels in copies.values()):
+            lines += ["", "copy bytes by label:"]
+            for owner, labels in copies.items():
+                for label, nbytes in labels.items():
+                    lines.append(f"  {owner:<14}{label:<26}{nbytes:>10}")
+
+        count, stalled = self.credit_stalls()
+        lines += ["", f"credit stalls: {count} ({stalled} ns stalled)"]
+
+        summary = self.span_summary()
+        if summary:
+            width = max(len(name) for _l, name, *_ in summary) + 2
+            lines += ["", "span summary by layer and operation:",
+                      f"{'layer':<9}{'operation':<{width}}{'count':>7}"
+                      f"{'p50 ns':>10}{'p99 ns':>10}{'total ns':>12}"]
+            for layer, name, n, p50, p99, total in summary:
+                lines.append(f"{layer:<9}{name:<{width}}{n:>7}"
+                             f"{p50:>10}{p99:>10}{total:>12}")
+
+        meters = self.obs.metrics.meters("link.bytes")
+        delivered = [(m.labels.get("link", "?"), m.mean_rate_mbs())
+                     for m in meters if m.total]
+        if delivered:
+            lines += ["", "delivered link rates:"]
+            for link, rate in delivered:
+                lines.append(f"  {link:<26}{rate:>10.2f} MB/s")
+        return "\n".join(lines)
+
+    def span_summary(self) -> list[tuple[str, str, int, int, int, int]]:
+        """(layer, name, count, p50, p99, total ns) per span kind, top-down."""
+        groups: dict[tuple[str, str], list[int]] = {}
+        for span in self.obs.spans:
+            groups.setdefault(span.key(), []).append(span.duration_ns)
+        out = []
+        for (layer, name), durations in sorted(
+                groups.items(), key=lambda kv: (layer_rank(kv[0][0]), kv[0])):
+            ordered = sorted(durations)
+            n = len(ordered)
+            out.append((layer, name, n, ordered[(n - 1) // 2],
+                        ordered[max(0, -(-99 * n // 100) - 1)], sum(ordered)))
+        return out
+
+
+# -- scenarios ------------------------------------------------------------------
+
+def _journey(machine, fm_version: int, msg_bytes: int, label: str,
+             n_messages: int) -> BreakdownReport:
+    observer = Observer()
+    journey, cluster = packet_journey_detail(machine, fm_version, msg_bytes,
+                                             observer=observer)
+    return BreakdownReport(label, cluster, observer, journey=journey)
+
+
+def _stream(machine, fm_version: int, msg_bytes: int, label: str,
+            n_messages: int) -> BreakdownReport:
+    from repro.bench.microbench import fm_stream
+    cluster = Cluster(2, machine=machine, fm_version=fm_version)
+    observer = cluster.observe()
+    fm_stream(cluster, msg_bytes, n_messages=n_messages)
+    return BreakdownReport(label, cluster, observer)
+
+
+def _pingpong(machine, fm_version: int, msg_bytes: int, label: str,
+              n_messages: int) -> BreakdownReport:
+    from repro.bench.microbench import fm_pingpong
+    cluster = Cluster(2, machine=machine, fm_version=fm_version)
+    observer = cluster.observe()
+    fm_pingpong(cluster, msg_bytes, iterations=n_messages)
+    return BreakdownReport(label, cluster, observer)
+
+
+def _mpi_stream(machine, fm_version: int, msg_bytes: int, label: str,
+                n_messages: int) -> BreakdownReport:
+    from repro.bench.mpibench import mpi_stream
+    cluster = Cluster(2, machine=machine, fm_version=fm_version)
+    observer = cluster.observe()
+    mpi_stream(cluster, msg_bytes, n_messages=n_messages)
+    return BreakdownReport(label, cluster, observer)
+
+
+#: scenario name -> (builder, machine, fm version, default bytes, default count)
+SCENARIOS: dict[str, tuple[Callable, object, int, int, int]] = {
+    "journey-fm1": (_journey, SPARC_FM1, 1, 16, 1),
+    "journey-fm2": (_journey, PPRO_FM2, 2, 16, 1),
+    "stream-fm1": (_stream, SPARC_FM1, 1, 1024, 40),
+    "stream-fm2": (_stream, PPRO_FM2, 2, 1024, 40),
+    "pingpong-fm2": (_pingpong, PPRO_FM2, 2, 16, 20),
+    "mpi-stream-fm2": (_mpi_stream, PPRO_FM2, 2, 1024, 30),
+}
+
+
+def run_scenario(name: str, msg_bytes: Optional[int] = None,
+                 n_messages: Optional[int] = None) -> BreakdownReport:
+    """Run one named scenario with full observability; returns the report."""
+    if name not in SCENARIOS:
+        raise ValueError(f"unknown scenario {name!r}; "
+                         f"choices: {sorted(SCENARIOS)}")
+    builder, machine, fm_version, default_bytes, default_count = SCENARIOS[name]
+    return builder(machine, fm_version,
+                   default_bytes if msg_bytes is None else msg_bytes,
+                   name,
+                   default_count if n_messages is None else n_messages)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """``python -m repro.obs.report`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Per-stage latency breakdown of a benchmark scenario.",
+    )
+    parser.add_argument("scenario", choices=sorted(SCENARIOS))
+    parser.add_argument("--msg-bytes", type=int, default=None,
+                        help="message size (scenario default otherwise)")
+    parser.add_argument("--messages", type=int, default=None,
+                        help="message / iteration count")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="also export a Perfetto trace-event JSON file")
+    args = parser.parse_args(argv)
+
+    report = run_scenario(args.scenario, msg_bytes=args.msg_bytes,
+                          n_messages=args.messages)
+    print(report.render())
+    if args.trace:
+        path = export_trace(report.obs, args.trace)
+        print(f"\ntrace written to {path} (open in ui.perfetto.dev)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

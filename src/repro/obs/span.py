@@ -1,0 +1,70 @@
+"""Cross-layer spans: timed intervals emitted at every layer crossing.
+
+A :class:`Span` is the unit of attribution: one named interval of simulated
+time on one component *track* (``"node0/fm"``, ``"fabric/s0"`` ...), tagged
+with the layer that emitted it and free-form attributes.  Instrumented code
+emits spans through the :class:`~repro.obs.observer.Observer` installed on
+the environment (``env.obs``); when no observer is attached the emission
+sites reduce to a single ``is None`` check, so observability costs nothing
+when off and **never** costs simulated time when on.
+
+Layer names used by the built-in instrumentation, top to bottom::
+
+    app > mpi | sockets | shmem | ga > fm > nic > fabric (link/switch)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Canonical layer order, top of the stack first (used for report sorting).
+LAYER_ORDER: tuple[str, ...] = (
+    "app", "ga", "shmem", "mpi", "sockets", "fm", "nic", "fabric",
+)
+
+
+def layer_rank(layer: str) -> int:
+    """Sort key placing known layers top-down and unknown layers last."""
+    try:
+        return LAYER_ORDER.index(layer)
+    except ValueError:
+        return len(LAYER_ORDER)
+
+
+@dataclass
+class Span:
+    """One timed interval on one component track.
+
+    ``track`` is ``"<process>/<thread>"`` (e.g. ``"node0/nic.tx"``); the
+    Perfetto exporter turns each distinct track into its own timeline row.
+    ``attrs`` carries operation details (byte counts, peers, sequence
+    numbers) and must hold only JSON-serialisable scalars.
+    """
+
+    layer: str
+    name: str
+    t_start: int
+    t_end: int
+    track: str = ""
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.t_end < self.t_start:
+            raise ValueError(
+                f"span {self.layer}/{self.name} ends before it starts "
+                f"({self.t_start} .. {self.t_end})"
+            )
+
+    @property
+    def duration_ns(self) -> int:
+        """Length of the interval in nanoseconds."""
+        return self.t_end - self.t_start
+
+    def key(self) -> tuple[str, str]:
+        """Aggregation key: (layer, name)."""
+        return (self.layer, self.name)
+
+    def __repr__(self) -> str:
+        return (f"<Span {self.layer}/{self.name} [{self.t_start}, {self.t_end}) "
+                f"track={self.track!r}>")

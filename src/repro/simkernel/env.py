@@ -28,6 +28,12 @@ class Environment:
         self._active_processes: int = 0
         #: Optional hook called as ``trace(time, event)`` before each event fires.
         self.trace: Optional[Callable[[int, Event], None]] = None
+        #: Optional :class:`repro.obs.observer.Observer`; instrumented layers
+        #: emit spans/metrics into it.  ``None`` (the default) disables all
+        #: observability at the cost of one ``is None`` test per site; the
+        #: observer itself never consumes simulated time, so results are
+        #: bit-identical with it on or off.
+        self.obs: Optional[Any] = None
 
     # -- clock ---------------------------------------------------------------
     @property

@@ -44,7 +44,34 @@ class Tracer:
         return self
 
     def detach(self, env: "Environment") -> None:
-        env.trace = self._previous
+        """Remove this tracer from the environment's hook chain.
+
+        Safe in any order: detaching a tracer that is *not* the head of the
+        chain splices it out without clobbering tracers attached after it
+        (the head keeps recording; only this tracer's link is removed).
+        Raises ``ValueError`` if the tracer is not attached to ``env``.
+        """
+        if getattr(env.trace, "__self__", None) is self:
+            env.trace = self._previous
+            self._previous = None
+            return
+        # Walk the chain of Tracer hooks looking for the one whose
+        # ``_previous`` is us, then splice past it.  (Bound methods are
+        # re-created on each attribute access, so compare hook owners, not
+        # the method objects themselves.)
+        hook = env.trace
+        while hook is not None:
+            owner = getattr(hook, "__self__", None)
+            if not isinstance(owner, Tracer):
+                break
+            if getattr(owner._previous, "__self__", None) is self:
+                owner._previous = self._previous
+                self._previous = None
+                return
+            hook = owner._previous
+        raise ValueError(
+            f"tracer with {len(self.records)} records is not attached to {env!r}"
+        )
 
     def _hook(self, time: int, event: Event) -> None:
         if isinstance(event, Process):

@@ -71,6 +71,8 @@ class GlobalArray:
         """Fetch the patch [row_lo, row_hi) x [col_lo, col_hi) as an ndarray."""
         col_hi = self.cols if col_hi is None else col_hi
         self._check_patch(row_lo, row_hi, col_lo, col_hi)
+        obs = self.shmem.env.obs
+        t0 = self.shmem.env.now
         out = np.empty((row_hi - row_lo, col_hi - col_lo), dtype=np.float64)
         for row in range(row_lo, row_hi):
             owner = self.owner_of(row)
@@ -81,6 +83,10 @@ class GlobalArray:
             else:
                 raw = yield from self.shmem.get(owner, self.region_id, off, nbytes)
             out[row - row_lo] = np.frombuffer(raw, dtype=np.float64)
+        if obs is not None:
+            obs.span("ga", "GA_get", t0, track=f"node{self.me}/ga",
+                     region=self.region_id, rows=row_hi - row_lo,
+                     bytes=out.nbytes)
         return out
 
     def put(self, row_lo: int, values: np.ndarray, col_lo: int = 0) -> Generator:
@@ -90,6 +96,8 @@ class GlobalArray:
             raise GaError(f"put needs a 2-D patch, got shape {values.shape}")
         self._check_patch(row_lo, row_lo + values.shape[0],
                           col_lo, col_lo + values.shape[1])
+        obs = self.shmem.env.obs
+        t0 = self.shmem.env.now
         for i, row in enumerate(range(row_lo, row_lo + values.shape[0])):
             owner = self.owner_of(row)
             off = self._row_offset(row) + col_lo * _ITEM
@@ -98,6 +106,10 @@ class GlobalArray:
                 self.local.write(raw, off)
             else:
                 yield from self.shmem.put(owner, self.region_id, off, raw)
+        if obs is not None:
+            obs.span("ga", "GA_put", t0, track=f"node{self.me}/ga",
+                     region=self.region_id, rows=values.shape[0],
+                     bytes=values.nbytes)
 
     def acc(self, row_lo: int, values: np.ndarray, col_lo: int = 0) -> Generator:
         """Accumulate (add) a 2-D patch starting at (row_lo, col_lo)."""
@@ -106,6 +118,8 @@ class GlobalArray:
             raise GaError(f"acc needs a 2-D patch, got shape {values.shape}")
         self._check_patch(row_lo, row_lo + values.shape[0],
                           col_lo, col_lo + values.shape[1])
+        obs = self.shmem.env.obs
+        t0 = self.shmem.env.now
         for i, row in enumerate(range(row_lo, row_lo + values.shape[0])):
             owner = self.owner_of(row)
             off = self._row_offset(row) + col_lo * _ITEM
@@ -116,11 +130,20 @@ class GlobalArray:
                 self.local.write((current + values[i]).tobytes(), off)
             else:
                 yield from self.shmem.acc(owner, self.region_id, off, values[i])
+        if obs is not None:
+            obs.span("ga", "GA_acc", t0, track=f"node{self.me}/ga",
+                     region=self.region_id, rows=values.shape[0],
+                     bytes=values.nbytes)
 
     def sync(self) -> Generator:
         """Complete my outstanding updates, then barrier (GA_Sync)."""
+        obs = self.shmem.env.obs
+        t0 = self.shmem.env.now
         yield from self.shmem.fence()
         yield from self.shmem.barrier()
+        if obs is not None:
+            obs.span("ga", "GA_sync", t0, track=f"node{self.me}/ga",
+                     region=self.region_id)
 
     # -- checks -------------------------------------------------------------------
     def _check_row(self, row: int) -> None:

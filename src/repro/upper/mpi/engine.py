@@ -121,6 +121,8 @@ class MpiEngine:
     def send(self, dest: int, tag: int, data: bytes, context: int = 0) -> Generator:
         """Blocking (eager- or rendezvous-protocol) send of ``data``."""
         self._check_peer(dest, tag)
+        obs = self.env.obs
+        t0 = self.env.now
         yield from self.cpu.execute(self.costs.send_overhead_ns
                                     + self.costs.header_build_ns)
         serial = self.next_serial(dest)
@@ -128,6 +130,10 @@ class MpiEngine:
             envelope = Envelope(context, self.rank, tag, len(data),
                                 KIND_EAGER, serial)
             yield from self.binding.send_message(dest, envelope, data)
+            if obs is not None:
+                obs.span("mpi", "MPI_Send", t0,
+                         track=f"node{self.rank}/mpi", dest=dest, tag=tag,
+                         bytes=len(data), protocol="eager")
             return
         # Rendezvous: RTS, wait for CTS, then the payload.
         self.stats_rendezvous += 1
@@ -149,6 +155,10 @@ class MpiEngine:
         data_env = Envelope(context, self.rank, tag, len(data),
                             KIND_RENDEZVOUS_DATA, serial)
         yield from self.binding.send_message(dest, data_env, data)
+        if obs is not None:
+            obs.span("mpi", "MPI_Send", t0, track=f"node{self.rank}/mpi",
+                     dest=dest, tag=tag, bytes=len(data),
+                     protocol="rendezvous")
 
     def send_pieces(self, dest: int, tag: int, pieces: list[bytes],
                     context: int = 0) -> Generator:
@@ -209,12 +219,20 @@ class MpiEngine:
     def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
              max_bytes: int = 1 << 20, context: int = 0) -> Generator:
         """Blocking receive; returns ``(data, Status)``."""
+        obs = self.env.obs
+        t0 = self.env.now
         request = yield from self.irecv(source, tag, max_bytes, context)
         yield from self.wait(request)
+        if obs is not None:
+            obs.span("mpi", "MPI_Recv", t0, track=f"node{self.rank}/mpi",
+                     source=source, tag=tag,
+                     bytes=request.status.count if request.status else 0)
         return request.data, request.status
 
     def wait(self, request: Request) -> Generator:
         """Progress until the request completes."""
+        obs = self.env.obs
+        t0 = self.env.now
         waited = 0
         while not request.complete:
             advanced = yield from self.progress()
@@ -228,6 +246,10 @@ class MpiEngine:
                     )
         if self.costs.completion_ns:
             yield from self.cpu.execute(self.costs.completion_ns)
+        if obs is not None:
+            obs.span("mpi", "MPI_Wait", t0, track=f"node{self.rank}/mpi",
+                     kind=request.kind,
+                     bytes=request.status.count if request.status else 0)
 
     def waitall(self, requests: list[Request]) -> Generator:
         """Progress until every request completes."""

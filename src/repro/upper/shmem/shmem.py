@@ -94,16 +94,26 @@ class Shmem:
         completion is guaranteed only after ``fence``)."""
         self._check_remote(pe, region_id, offset, len(data))
         self._puts_issued += 1
+        obs = self.env.obs
+        t0 = self.env.now
         yield from self._send(pe, OP_PUT, region_id, offset, len(data),
                               token=0, payload=data)
+        if obs is not None:
+            obs.span("shmem", "put", t0, track=f"node{self.me}/shmem",
+                     pe=pe, region=region_id, bytes=len(data))
 
     def get(self, pe: int, region_id: int, offset: int, nbytes: int) -> Generator:
         """Read ``nbytes`` from ``pe``'s region at ``offset`` (blocking)."""
         self._check_remote(pe, region_id, offset, nbytes)
         token = self._next_token
         self._next_token += 1
+        obs = self.env.obs
+        t0 = self.env.now
         yield from self._send(pe, OP_GET, region_id, offset, nbytes, token, b"")
         yield from self._await(lambda: token in self._get_replies, "get reply")
+        if obs is not None:
+            obs.span("shmem", "get", t0, track=f"node{self.me}/shmem",
+                     pe=pe, region=region_id, bytes=nbytes)
         return self._get_replies.pop(token)
 
     def acc(self, pe: int, region_id: int, offset: int,
@@ -112,7 +122,12 @@ class Shmem:
         data = np.ascontiguousarray(values, dtype=np.float64).tobytes()
         self._check_remote(pe, region_id, offset, len(data))
         self._puts_issued += 1
+        obs = self.env.obs
+        t0 = self.env.now
         yield from self._send(pe, OP_ACC, region_id, offset, len(data), 0, data)
+        if obs is not None:
+            obs.span("shmem", "acc", t0, track=f"node{self.me}/shmem",
+                     pe=pe, region=region_id, bytes=len(data))
 
     def fence(self) -> Generator:
         """Block until every put/acc issued so far is applied remotely."""
@@ -123,6 +138,8 @@ class Shmem:
         """Global barrier across all PEs (flat notify-all)."""
         epoch = self._barrier_epoch
         self._barrier_epoch += 1
+        obs = self.env.obs
+        t0 = self.env.now
         for pe in range(self.n_pes):
             if pe != self.me:
                 yield from self._send(pe, OP_BARRIER, 0, 0, 0, epoch, b"")
@@ -130,6 +147,9 @@ class Shmem:
             lambda: self._barrier_seen.get(epoch, 0) >= self.n_pes - 1,
             f"barrier epoch {epoch}",
         )
+        if obs is not None:
+            obs.span("shmem", "barrier", t0, track=f"node{self.me}/shmem",
+                     epoch=epoch)
 
     # -- progress ----------------------------------------------------------------
     def progress(self, budget: int = 8192) -> Generator:

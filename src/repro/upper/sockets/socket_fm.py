@@ -62,12 +62,18 @@ class Socket:
         self._check_established()
         if self.fin_sent:
             raise SocketError("send after close")
+        obs = self.stack.env.obs
+        t0 = self.stack.env.now
         offset = 0
         while offset < len(data):
             take = min(SEGMENT_BYTES, len(data) - offset)
             yield from self.stack._send_segment(
                 self, KIND_DATA, data[offset: offset + take])
             offset += take
+        if obs is not None:
+            obs.span("sockets", "send", t0,
+                     track=f"node{self.stack.node.node_id}/sockets",
+                     conn=self.conn_id, bytes=len(data))
 
     def recv(self, nbytes: int) -> Generator:
         """Receive up to ``nbytes``; returns b"" at end of stream.
@@ -79,6 +85,7 @@ class Socket:
         if nbytes <= 0:
             raise SocketError(f"recv size must be positive, got {nbytes}")
         self._check_established()
+        waited_t0 = self.stack.env.now
         waited = 0
         while self.rx_bytes == 0:
             if self.fin_received:
@@ -101,6 +108,11 @@ class Socket:
         self.rx_bytes -= len(out)
         # Copy out of socket buffering to the application.
         yield from self.stack.cpu.execute(self.stack.cpu.memcpy_cost(len(out)))
+        obs = self.stack.env.obs
+        if obs is not None:
+            obs.span("sockets", "recv", waited_t0,
+                     track=f"node{self.stack.node.node_id}/sockets",
+                     conn=self.conn_id, bytes=len(out))
         return bytes(out)
 
     def recv_into(self, buf: Buffer, offset: int, nbytes: int) -> Generator:

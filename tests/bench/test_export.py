@@ -1,13 +1,17 @@
-"""CSV export of figure series."""
+"""CSV/JSON export of figure series and the export CLI."""
 
 import csv
+import json
 
 import pytest
 
 from repro.bench.export import (
     FIGURE_SERIES,
     export_figure_csv,
+    export_figure_json,
+    main,
     sweeps_to_csv,
+    sweeps_to_json,
 )
 from repro.bench.sweeps import SweepResult
 
@@ -63,3 +67,61 @@ class TestExport:
         nested = tmp_path / "a" / "b"
         path = export_figure_csv("fig1", nested)
         assert path.exists()
+
+
+class TestSweepsToJson:
+    def test_structure_and_rounding(self):
+        sweeps = [SweepResult("A", [16, 32], [1.23456, 2.0]),
+                  SweepResult("B", [16, 32], [3.0, 4.0])]
+        doc = json.loads(sweeps_to_json(sweeps))
+        assert doc == {"sizes": [16, 32],
+                       "series": {"A": [1.2346, 2.0], "B": [3.0, 4.0]}}
+
+    def test_deterministic_bytes(self):
+        sweeps = [SweepResult("B", [16], [2.0]), ]
+        assert sweeps_to_json(sweeps) == sweeps_to_json(
+            [SweepResult("B", [16], [2.0])])
+        # Canonical form: sorted keys, no whitespace, trailing newline.
+        text = sweeps_to_json(sweeps)
+        assert text.endswith("\n") and ": " not in text
+
+    def test_mismatched_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            sweeps_to_json([SweepResult("A", [16], [1.0]),
+                            SweepResult("B", [32], [1.0])])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sweeps_to_json([])
+
+
+class TestJsonExport:
+    def test_fig1_json_matches_csv_data(self, tmp_path):
+        json_path = export_figure_json("fig1", tmp_path)
+        csv_path = export_figure_csv("fig1", tmp_path)
+        doc = json.loads(json_path.read_text())
+        rows = list(csv.reader(csv_path.read_text().splitlines()))
+        assert doc["sizes"] == [int(r[0]) for r in rows[1:]]
+        assert doc["series"]["1Gbit"] == pytest.approx(
+            [float(r[2]) for r in rows[1:]])
+
+    def test_unknown_name_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown figure"):
+            export_figure_json("fig99", tmp_path)
+
+
+class TestCli:
+    def test_cli_json(self, tmp_path, capsys):
+        assert main(["fig1", "--format", "json", "-o", str(tmp_path)]) == 0
+        out = capsys.readouterr().out.strip()
+        assert out.endswith("fig1.json")
+        doc = json.loads((tmp_path / "fig1.json").read_text())
+        assert set(doc["series"]) == {"100Mbit", "1Gbit"}
+
+    def test_cli_csv_default(self, tmp_path, capsys):
+        assert main(["fig1", "-o", str(tmp_path)]) == 0
+        assert (tmp_path / "fig1.csv").exists()
+
+    def test_cli_rejects_unknown_figure(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["fig99", "-o", str(tmp_path)])

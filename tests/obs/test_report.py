@@ -1,0 +1,92 @@
+"""The breakdown report: scenarios, stage accounting, and the CLI."""
+
+import pytest
+
+from repro.obs.report import SCENARIOS, main, run_scenario
+
+
+class TestJourneyScenario:
+    def test_stage_sum_equals_end_to_end(self):
+        """Acceptance criterion: for the FM2 one-packet case the journey's
+        stage durations sum exactly to the end-to-end latency."""
+        report = run_scenario("journey-fm2")
+        journey = report.journey
+        assert journey is not None
+        assert sum(d for _s, d in journey.stages()) == journey.total_ns
+
+    def test_aggregate_stages_cover_the_packet(self):
+        report = run_scenario("journey-fm2")
+        stages = report.stage_rows()
+        assert stages, "per-stage histograms missing"
+        for _stage, count, p50, p99, total in stages:
+            assert count == 1
+            assert p50 == p99 == total
+        (latency,) = report.obs.metrics.histograms("packet.latency_ns")
+        # submit -> extract equals the sum of the waypoint stages.
+        assert latency.total == sum(total for *_x, total in stages)
+
+    def test_fm1_journey_runs(self):
+        report = run_scenario("journey-fm1")
+        assert report.cluster.fm_version == 1
+        assert report.journey is not None
+
+
+class TestStreamScenarios:
+    def test_stream_fm2_aggregates_all_packets(self):
+        report = run_scenario("stream-fm2", msg_bytes=1024, n_messages=10)
+        (latency,) = report.obs.metrics.histograms("packet.latency_ns")
+        assert latency.count == 10   # 1024B fits one FM2 packet per message
+        assert report.obs.metrics.meters("link.bytes")
+        text = report.render()
+        assert "per-stage packet breakdown" in text
+        assert "delivered link rates" in text
+
+    def test_pingpong_scenario_both_directions(self):
+        report = run_scenario("pingpong-fm2", n_messages=5)
+        tracks = report.obs.tracks()
+        assert "node0/nic.tx" in tracks and "node1/nic.tx" in tracks
+
+    def test_mpi_scenario_has_mpi_spans(self):
+        report = run_scenario("mpi-stream-fm2", msg_bytes=256, n_messages=5)
+        layers = {layer for layer, *_r in report.span_summary()}
+        assert "mpi" in layers and "fm" in layers and "nic" in layers
+
+    def test_copy_bytes_federated_per_node(self):
+        report = run_scenario("stream-fm2", msg_bytes=1024, n_messages=5)
+        copies = report.obs.metrics.copy_bytes_by_label()
+        assert "node1.cpu" in copies
+        assert copies["node1.cpu"].get("fm2.deliver", 0) == 5 * 1024
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            run_scenario("no-such-scenario")
+
+
+class TestCli:
+    def test_all_scenarios_registered(self):
+        assert set(SCENARIOS) == {
+            "journey-fm1", "journey-fm2", "stream-fm1", "stream-fm2",
+            "pingpong-fm2", "mpi-stream-fm2",
+        }
+
+    def test_journey_cli_exits_zero(self, capsys):
+        assert main(["journey-fm2"]) == 0
+        out = capsys.readouterr().out
+        assert "one-packet journey" in out
+        assert "credit stalls" in out
+
+    def test_cli_trace_export(self, tmp_path, capsys):
+        trace_path = tmp_path / "out.json"
+        assert main(["journey-fm2", "--trace", str(trace_path)]) == 0
+        assert trace_path.exists()
+        import json
+
+        from repro.obs.export import distinct_tracks, validate_trace_events
+        trace = json.loads(trace_path.read_text())
+        validate_trace_events(trace)
+        assert distinct_tracks(trace) >= 5
+
+    def test_cli_overrides(self, capsys):
+        assert main(["stream-fm2", "--msg-bytes", "512",
+                     "--messages", "4"]) == 0
+        assert "stream-fm2" in capsys.readouterr().out

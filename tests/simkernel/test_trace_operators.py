@@ -95,6 +95,53 @@ class TestTracer:
         tracer.detach(env)
         assert env.trace is None
 
+    def test_detach_out_of_lifo_keeps_other_tracers(self):
+        """Regression: detaching a non-head tracer used to clobber the
+        whole chain back to its own predecessor, silently disabling every
+        tracer attached after it."""
+        env = Environment()
+        first = Tracer().attach(env)
+        middle = Tracer().attach(env)
+        last = Tracer().attach(env)
+        middle.detach(env)
+
+        def worker(env):
+            yield env.timeout(10)
+        env.process(worker(env))
+        env.run()
+        assert len(first) > 0
+        assert len(last) > 0
+        assert len(middle) == 0
+
+    def test_detach_any_order_empties_chain(self):
+        env = Environment()
+        tracers = [Tracer().attach(env) for _ in range(3)]
+        tracers[1].detach(env)
+        tracers[0].detach(env)
+        tracers[2].detach(env)
+        assert env.trace is None
+
+    def test_detach_not_attached_raises(self):
+        env = Environment()
+        stranger = Tracer()
+        with pytest.raises(ValueError):
+            stranger.detach(env)
+        Tracer().attach(env)
+        with pytest.raises(ValueError):
+            stranger.detach(env)
+
+    def test_chained_tracers_both_record(self):
+        env = Environment()
+        inner = Tracer().attach(env)
+        outer = Tracer().attach(env)
+
+        def worker(env):
+            yield env.timeout(10)
+        env.process(worker(env))
+        env.run()
+        assert [tuple(r) for r in inner.records] == \
+            [tuple(r) for r in outer.records]
+
     def test_chains_previous_hook(self):
         env = Environment()
         seen = []

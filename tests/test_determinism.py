@@ -10,15 +10,19 @@ import numpy as np
 
 from repro.cluster import Cluster
 from repro.configs import PPRO_FM2
+from repro.obs.export import dumps_deterministic, trace_events
+from repro.obs.observer import Observer
 from repro.simkernel.trace import Tracer
 from repro.upper.mpi import build_mpi_world
 from repro.upper.sockets import SocketStack
 
 
-def mixed_workload_trace():
+def mixed_workload_trace(observe: bool = False):
     """Run a nontrivial 4-node workload and return its full trace."""
     cluster = Cluster(4, machine=PPRO_FM2, fm_version=2)
     tracer = Tracer().attach(cluster.env)
+    if observe:
+        cluster.observe()
     comms = build_mpi_world(cluster)
     outputs = {}
 
@@ -80,6 +84,40 @@ class TestDeterminism:
         assert first_out == second_out
         assert [tuple(r) for r in first_trace.records] == \
             [tuple(r) for r in second_trace.records]
+
+    def test_observability_does_not_perturb_results(self):
+        """Bit-identical event histories and outputs with obs on vs off —
+        the spans/metrics layer must never consume simulated time."""
+        off_trace, off_out, off_now = mixed_workload_trace(observe=False)
+        on_trace, on_out, on_now = mixed_workload_trace(observe=True)
+        assert off_now == on_now
+        assert off_out == on_out
+        assert [tuple(r) for r in off_trace.records] == \
+            [tuple(r) for r in on_trace.records]
+
+    def test_observed_trace_export_byte_identical(self):
+        """Two observed runs export byte-identical Perfetto JSON."""
+        def observed_bytes():
+            cluster = Cluster(2, machine=PPRO_FM2, fm_version=2)
+            observer = cluster.observe()
+            stacks = [SocketStack(node) for node in cluster.nodes]
+
+            def server(node):
+                stacks[0].listen()
+                sock = yield from stacks[0].accept()
+                data = yield from sock.recv_exactly(1000)
+                yield from sock.send(data[::-1])
+
+            def client(node):
+                sock = yield from stacks[1].connect(0)
+                yield from sock.send(bytes(range(200)) * 5)
+                yield from sock.recv_exactly(1000)
+
+            cluster.run([server, client])
+            assert isinstance(observer, Observer) and observer.spans
+            return dumps_deterministic(trace_events(observer.spans))
+
+        assert observed_bytes() == observed_bytes()
 
     def test_results_correct_while_traced(self):
         _trace, outputs, _now = mixed_workload_trace()
