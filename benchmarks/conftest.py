@@ -12,6 +12,18 @@ from __future__ import annotations
 import pytest
 
 
+def pytest_collection_modifyitems(items):
+    """Mark everything in this directory ``benchmark`` unless it is ``fast``.
+
+    This is the tier split: ``pytest -m "not benchmark"`` runs only the quick
+    tier-1 tests (including the ``fast``-marked smoke files collected from
+    here), while a plain ``pytest benchmarks`` still regenerates every figure.
+    """
+    for item in items:
+        if item.get_closest_marker("fast") is None:
+            item.add_marker(pytest.mark.benchmark)
+
+
 @pytest.fixture
 def show(capsys):
     """Print a regenerated table to the real terminal, bypassing capture."""

@@ -5,65 +5,83 @@ these use pytest-benchmark's statistical machinery properly — multiple
 rounds of the same deterministic workload — to track the *wall-clock*
 cost of simulating, which bounds how large an experiment the library can
 host.  Regressions here make every other benchmark slower.
+
+The speed gates are **relative**: each workload is compared against a
+trivial pure-Python calibration loop timed on the same machine in the same
+session, so a slow CI runner slows both sides and the ratio holds.  The
+absolute numbers (and the tracked history) live in ``BENCH_selfperf.json``,
+regenerated here via :mod:`repro.bench.selfperf`.
 """
+
+from pathlib import Path
+from time import perf_counter
 
 import pytest
 
-from conftest import run_once
-from repro.bench.microbench import fm_stream
-from repro.cluster import Cluster
-from repro.configs import PPRO_FM2
-from repro.simkernel import Environment, Store
+from repro.bench.selfperf import (
+    build_document,
+    kernel_workload,
+    measure,
+    stack_workload,
+    write_selfperf,
+)
 
 
-def kernel_workload():
-    """A pure-kernel churn: producer/consumer chains, ~30k events."""
-    env = Environment()
-    stores = [Store(env, capacity=4) for _ in range(4)]
+def _calibration_seconds() -> float:
+    """Wall time of a trivial 10^6-iteration pure-Python loop (min of 3).
 
-    def producer(env):
-        for i in range(1000):
-            yield env.timeout(5)
-            yield stores[0].put(i)
-
-    def relay(env, src, dst):
-        while True:
-            item = yield src.get()
-            yield env.timeout(3)
-            yield dst.put(item)
-
-    def consumer(env):
-        for _ in range(1000):
-            yield stores[-1].get()
-
-    env.process(producer(env))
-    for index in range(len(stores) - 1):
-        env.process(relay(env, stores[index], stores[index + 1]))
-    done = env.process(consumer(env))
-    env.run(until=done)
-    return env.now
-
-
-def stack_workload():
-    """A full-stack churn: 60 x 1 KB messages through FM 2.x."""
-    cluster = Cluster(2, machine=PPRO_FM2, fm_version=2)
-    return fm_stream(cluster, 1024, n_messages=60).bandwidth_mbs
+    This is the machine-speed yardstick: every workload gate below is a
+    multiple of this, so the assertions measure *simulator efficiency*, not
+    the runner's absolute speed.
+    """
+    best = float("inf")
+    for _ in range(3):
+        t0 = perf_counter()
+        acc = 0
+        for i in range(1_000_000):
+            acc += i
+        best = min(best, perf_counter() - t0)
+    assert acc == 499999500000
+    return best
 
 
 def test_simkernel_event_throughput(benchmark):
-    result = benchmark.pedantic(kernel_workload, rounds=5, iterations=1,
-                                warmup_rounds=1)
-    assert result > 0   # simulated time advanced
+    simulated_ns, events = benchmark.pedantic(
+        kernel_workload, rounds=5, iterations=1, warmup_rounds=1)
+    assert simulated_ns > 0   # simulated time advanced
+    assert events > 10_000    # the workload actually churned the kernel
 
-    # The kernel must stay fast enough that figure sweeps are interactive:
-    # this ~30k-event workload should run well under a second.
-    assert benchmark.stats.stats.mean < 1.0
+    # ~12k scheduled / ~36k processed events must cost no more than ~2x a
+    # million trivial loop iterations — i.e. a few hundred ns per event.
+    # (Post-overhaul the ratio is ~0.4; the baseline kernel sat near 0.9.)
+    assert benchmark.stats.stats.mean < 2.0 * _calibration_seconds()
 
 
 def test_full_stack_simulation_throughput(benchmark):
-    bandwidth = benchmark.pedantic(stack_workload, rounds=3, iterations=1,
-                                   warmup_rounds=1)
-    assert bandwidth == pytest.approx(65, rel=0.2)
-    # One bandwidth point (60 messages, ~180 packets, full protocol) should
-    # simulate in well under two seconds.
-    assert benchmark.stats.stats.mean < 2.0
+    simulated_ns, packets = benchmark.pedantic(
+        stack_workload, rounds=3, iterations=1, warmup_rounds=1)
+    assert simulated_ns > 0
+    assert packets >= 60      # at least one wire packet per message
+
+    # One bandwidth point (60 messages, full FM2 protocol, 2 nodes) should
+    # cost no more than ~3x the calibration loop.
+    assert benchmark.stats.stats.mean < 3.0 * _calibration_seconds()
+
+
+def test_selfperf_baseline_regenerated():
+    """Regenerate BENCH_selfperf.json (the tracked self-performance file).
+
+    Runs the same harness the CLI uses and rewrites the repo-root artifact,
+    so a benchmarks run always leaves a fresh ``current`` section behind.
+    Only determinism is asserted here — the committed file, not this test,
+    records the speedup claim.
+    """
+    current = measure(repeats=3)
+    document = build_document(current)
+    # The workloads are deterministic: counts must match the frozen baseline.
+    assert current["kernel"]["events"] == document["baseline"]["kernel"]["events"]
+    assert current["stack"]["packets"] == document["baseline"]["stack"]["packets"]
+
+    root = Path(__file__).resolve().parent.parent
+    path = write_selfperf(root / "BENCH_selfperf.json", document=document)
+    assert path.exists()

@@ -69,7 +69,9 @@ class FM1(FmEndpoint):
         sent = 0
         for seq in range(n_packets):
             take = min(payload_cap, size - sent)
-            chunk = buf.read(offset + sent, take)
+            # Zero-copy slice of the user buffer; Packet() below snapshots it
+            # synchronously (before any yield), which is the one send-side copy.
+            chunk = buf.view(offset + sent, take)
             sent += take
             flags = PacketFlags.NONE
             if seq == 0:
@@ -187,11 +189,12 @@ class FM1(FmEndpoint):
 
         if packet.payload:
             # The FM 1.x receive-side copy: receive region -> staging buffer.
-            region_view = Buffer.from_bytes(packet.payload, name="recv_region_slot")
+            # deposit() writes the (immutable) payload straight into staging —
+            # cost and meter label identical to the old memcpy through a
+            # temporary Buffer, minus the temporary.
             dst_off = header.seq * self.params.packet_payload
-            yield from self.cpu.memcpy(
-                region_view, 0, entry.staging, dst_off, len(packet.payload),
-                label="fm1.staging_copy",
+            yield from self.cpu.deposit(
+                packet.payload, entry.staging, dst_off, label="fm1.staging_copy",
             )
             entry.received += len(packet.payload)
 

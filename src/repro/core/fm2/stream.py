@@ -71,22 +71,35 @@ class SendStream:
                 f"piece of {nbytes} bytes overflows message: "
                 f"{self.remaining} of {self.msg_bytes} bytes remain"
             )
-        data = buf.read(offset, nbytes)
-        # One bus burst per piece: the gather cost model.  Packet emission
-        # below charges only the header bytes.
-        yield from self.fm.bus.pio_write(self.fm.cpu, nbytes)
-        taken = 0
+        # Partition the piece into packet payloads synchronously, before any
+        # yield: the memoryview aliases the caller's live buffer, and this
+        # block is the snapshot point (matching the old up-front buf.read()).
+        # Payloads that span a whole packet are snapshotted straight off the
+        # view (one copy); only bytes straddling a packet boundary pass
+        # through the fill bytearray.
+        view = buf.view(offset, nbytes)
         cap = self.fm.params.packet_payload
+        ready: list[bytes] = []
+        taken = 0
         while taken < nbytes:
             room = cap - len(self._fill)
             take = min(room, nbytes - taken)
-            self._fill += data[taken: taken + take]
+            if take == cap:
+                ready.append(bytes(view[taken: taken + cap]))
+            else:
+                self._fill += view[taken: taken + take]
+                if len(self._fill) == cap:
+                    ready.append(bytes(self._fill))
+                    self._fill.clear()
             taken += take
-            if len(self._fill) == cap:
-                # If this full packet completes the declared size, it is the
-                # LAST — no empty trailer follows.
-                completes = self.sent_bytes + len(self._fill) == self.msg_bytes
-                yield from self._emit(last=completes)
+        # One bus burst per piece: the gather cost model.  Packet emission
+        # below charges only the header bytes.
+        yield from self.fm.bus.pio_write(self.fm.cpu, nbytes)
+        for payload in ready:
+            # If this full packet completes the declared size, it is the
+            # LAST — no empty trailer follows.
+            completes = self.sent_bytes + len(payload) == self.msg_bytes
+            yield from self._emit(payload, last=completes)
 
     def finish(self) -> Generator:
         """Emit the final packet (FM_end_message body)."""
@@ -97,10 +110,12 @@ class SendStream:
                 f"{self.msg_bytes} unsent"
             )
         if not self._last_emitted:
-            yield from self._emit(last=True)
+            payload = bytes(self._fill)
+            self._fill.clear()
+            yield from self._emit(payload, last=True)
         self.closed = True
 
-    def _emit(self, last: bool) -> Generator:
+    def _emit(self, payload: bytes, last: bool) -> Generator:
         flags = PacketFlags.NONE
         if self.next_seq == 0:
             flags |= PacketFlags.FIRST
@@ -111,9 +126,8 @@ class SendStream:
             self.dest, self.handler_id, self.msg_id, self.next_seq,
             self.msg_bytes, flags,
         )
-        packet = Packet(header, bytes(self._fill))
-        self.sent_bytes += len(self._fill)
-        self._fill.clear()
+        packet = Packet(header, payload)
+        self.sent_bytes += len(payload)
         self.next_seq += 1
         yield from self.fm.cpu.per_packet()
         yield from self.fm.acquire_credit(self.dest)
@@ -135,7 +149,10 @@ class RecvStream:
         self.consumed_bytes = 0
         self.next_seq = 0
         self.complete = False          # LAST packet has been fed
-        self._chunks: deque[bytes] = deque()
+        #: Arrived-but-unconsumed payload chunks.  Entries are the packets'
+        #: immutable bytes payloads, or zero-copy memoryview slices of them
+        #: when a receive consumed only part of a chunk.
+        self._chunks: deque = deque()
         self._data_ready: Optional["Event"] = None   # handler parked here
         self._parked: Optional["Event"] = None       # extract parked here
         self.handler_process: Optional["Process"] = None
@@ -172,12 +189,19 @@ class RecvStream:
                 continue
             chunk = self._chunks.popleft()
             take = min(len(chunk), nbytes - copied)
-            view = Buffer.from_bytes(chunk[:take], name="recv_region_chunk")
-            yield from self.fm.cpu.memcpy(
-                view, 0, buf, offset + copied, take, label="fm2.deliver",
-            )
             if take < len(chunk):
-                self._chunks.appendleft(chunk[take:])
+                # Split without copying: packet payloads are immutable bytes,
+                # so both halves can alias the original (the leftover view
+                # goes back on the deque for the next call).
+                mv = memoryview(chunk)
+                self._chunks.appendleft(mv[take:])
+                chunk = mv[:take]
+            # deposit() = the single receive-side copy, straight from the
+            # receive region into the handler's destination buffer; cost and
+            # meter label identical to the old memcpy via a temporary Buffer.
+            yield from self.fm.cpu.deposit(
+                chunk, buf, offset + copied, label="fm2.deliver",
+            )
             copied += take
             self.consumed_bytes += take
         if obs is not None:

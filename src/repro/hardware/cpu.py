@@ -56,6 +56,24 @@ class HostCpu:
         cost = self.params.memcpy_startup_ns + transfer_time_ns(nbytes, self.params.memcpy_bw)
         yield from self.execute(cost)
 
+    def deposit(self, data, dst: Buffer, dst_off: int = 0,
+                label: str = "unlabelled") -> Generator:
+        """Write a bytes-like object into a buffer: the zero-copy receive path.
+
+        Cost-identical to :meth:`memcpy` (same meter label accounting, same
+        startup + bandwidth charge) but takes the source bytes directly —
+        ``bytes`` or a ``memoryview`` slice — so delivering a packet payload
+        into its destination costs exactly one host-Python copy instead of
+        staging it through a temporary :class:`Buffer` first.  The data
+        movement happens synchronously at call time, before any simulated
+        time elapses, so immutable sources need no snapshot.
+        """
+        nbytes = len(data)
+        dst.write(data, dst_off)
+        self.meter.record(nbytes, label)
+        cost = self.params.memcpy_startup_ns + transfer_time_ns(nbytes, self.params.memcpy_bw)
+        yield from self.execute(cost)
+
     def memcpy_cost(self, nbytes: int) -> int:
         """Time a copy of ``nbytes`` would take (no data movement)."""
         return self.params.memcpy_startup_ns + transfer_time_ns(nbytes, self.params.memcpy_bw)

@@ -17,8 +17,11 @@ class Buffer:
     """A named, fixed-size region of host memory backed by a bytearray.
 
     Buffers are plain data: all timing lives in the CPU/DMA models that
-    operate on them.  Slicing helpers return ``bytes`` (immutable) so
-    protocol code can't accidentally alias live memory.
+    operate on them.  :meth:`read` returns ``bytes`` (immutable, snapshot);
+    :meth:`view` returns a read-only :class:`memoryview` for zero-copy
+    plumbing.  A view aliases live memory, so holders must snapshot it (e.g.
+    by constructing a ``Packet``, whose payload is always ``bytes``) before
+    yielding control back to whoever owns the buffer.
     """
 
     __slots__ = ("name", "data", "pinned")
@@ -50,7 +53,20 @@ class Buffer:
         self._check_range(offset, nbytes)
         return bytes(self.data[offset: offset + nbytes])
 
+    def view(self, offset: int = 0, nbytes: Optional[int] = None) -> memoryview:
+        """Zero-copy read-only window onto ``nbytes`` starting at ``offset``.
+
+        Unlike :meth:`read` this does not snapshot: the view tracks later
+        writes to the buffer.  See the class docstring for the aliasing
+        invariant the send paths rely on.
+        """
+        if nbytes is None:
+            nbytes = len(self.data) - offset
+        self._check_range(offset, nbytes)
+        return memoryview(self.data).toreadonly()[offset: offset + nbytes]
+
     def write(self, payload: bytes, offset: int = 0) -> None:
+        """Write a bytes-like object (``bytes``/``bytearray``/``memoryview``)."""
         self._check_range(offset, len(payload))
         self.data[offset: offset + len(payload)] = payload
 
@@ -106,5 +122,5 @@ class CopyMeter:
 
 def copy_bytes(src: Buffer, src_off: int, dst: Buffer, dst_off: int, nbytes: int) -> None:
     """Move bytes between buffers (data only — time is charged by the CPU)."""
-    data = src.read(src_off, nbytes)
-    dst.write(data, dst_off)
+    # View, not read(): one host-Python copy per byte moved, not two.
+    dst.write(src.view(src_off, nbytes), dst_off)

@@ -17,6 +17,11 @@ host CPU) and staging SRAM in both directions:
 
 Every bounded store in the chain back-pressures: a receiver that stops
 extracting eventually stalls the sender's PIO, never dropping a packet.
+
+Staging is zero-copy at the host-Python level: the SRAM stores and the
+receive region hold :class:`Packet` references (whose payloads are immutable
+``bytes``), never byte copies — all data-movement *cost* (PIO, DMA, wire
+time) is charged by the bus/DMA/link models as simulated time.
 """
 
 from __future__ import annotations

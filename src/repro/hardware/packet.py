@@ -88,9 +88,18 @@ class Packet:
     waypoints: list[tuple[str, int]] = field(default_factory=list)
 
     def __post_init__(self) -> None:
-        if not isinstance(self.payload, (bytes, bytearray)):
-            raise TypeError(f"payload must be bytes, got {type(self.payload).__name__}")
-        self.payload = bytes(self.payload)
+        # Packet construction is the single snapshot point of the send path:
+        # callers hand in zero-copy memoryview slices over the user's buffer
+        # (or a bytearray fill), and the one bytes() here materialises them.
+        # In flight the payload is always immutable bytes, so the receive
+        # side may alias it freely (memoryview) without a defensive copy.
+        payload = self.payload
+        if payload.__class__ is not bytes:
+            if not isinstance(payload, (bytes, bytearray, memoryview)):
+                raise TypeError(
+                    f"payload must be bytes-like, got {type(payload).__name__}"
+                )
+            self.payload = bytes(payload)
         if self.crc == 0:
             self.crc = compute_crc(self.payload)
 

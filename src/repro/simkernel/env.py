@@ -1,13 +1,43 @@
-"""The simulation environment: clock, event heap, run loop."""
+"""The simulation environment: clock, event heap, run loop.
+
+Two execution paths share one event ordering:
+
+* :meth:`Environment.step` is the *reference* path — fire exactly one event,
+  with every guard in place.  Debugging helpers (:meth:`run_steps`) and
+  direct test drivers use it.
+* :meth:`Environment.run` uses an inlined *drain loop* (:meth:`_drain`) that
+  pops and fires events without re-entering ``step()`` per event, keeps the
+  ``trace`` hook test down to one load per event, and recycles anonymous
+  events into per-class free lists (see ``repro.simkernel.events``).
+
+Both paths pop the same heap in the same order, so simulated results are
+bit-identical whichever drives the run — ``tests/test_determinism.py``
+compares full (time, seq, priority) traces across the two.
+"""
 
 from __future__ import annotations
 
-import heapq
+import gc
+import sys
+from collections import deque
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Optional
 
-from repro.simkernel.errors import SimulationError
-from repro.simkernel.events import AllOf, AnyOf, Event, PRIORITY_NORMAL, Timeout
+from repro.simkernel.errors import SimulationError, StopProcess
+from repro.simkernel.events import (
+    _EVENT_FREE,
+    _POOL_CAP,
+    _TIMEOUT_FREE,
+    AllOf,
+    AnyOf,
+    Event,
+    PRIORITY_NORMAL,
+    SEQ_BITS,
+    Timeout,
+)
 from repro.simkernel.process import Process
+
+_PENDING = Event._PENDING
 
 
 class Environment:
@@ -18,16 +48,30 @@ class Environment:
     of the model — there is no dependence on hash ordering or wall-clock.
     """
 
+    __slots__ = ("_now", "_heap", "_imm", "_seq", "_active_process",
+                 "_active_processes", "trace", "last_key", "obs")
+
     def __init__(self, initial_time: int = 0):
         if not isinstance(initial_time, int) or initial_time < 0:
             raise ValueError(f"initial_time must be a non-negative int, got {initial_time!r}")
         self._now: int = initial_time
-        self._heap: list[tuple[int, int, int, Event]] = []
+        self._heap: list[tuple[int, int, Event]] = []
+        #: FIFO of ``(key, event)`` pairs scheduled for *now* at normal
+        #: priority — the dominant schedule (every succeed).  Appending here
+        #: skips the heap sift; keys stay monotone within the queue, so the
+        #: pop order against same-time heap entries is a single head compare.
+        self._imm: deque[tuple[int, Event]] = deque()
         self._seq: int = 0
         self._active_process: Optional[Process] = None
         self._active_processes: int = 0
-        #: Optional hook called as ``trace(time, event)`` before each event fires.
+        #: Optional hook called as ``trace(time, event)`` before each event
+        #: fires.  While it runs, :attr:`last_key` holds the fired event's
+        #: packed (priority, seq) heap key.
         self.trace: Optional[Callable[[int, Event], None]] = None
+        #: Packed heap key of the most recently traced event; decode with
+        #: :meth:`decode_key`.  Only maintained while ``trace`` is attached
+        #: (keeping the untraced drain loop free of the extra store).
+        self.last_key: int = 0
         #: Optional :class:`repro.obs.observer.Observer`; instrumented layers
         #: emit spans/metrics into it.  ``None`` (the default) disables all
         #: observability at the cost of one ``is None`` test per site; the
@@ -51,13 +95,54 @@ class Environment:
         """Number of processes started but not yet finished."""
         return self._active_processes
 
+    @property
+    def scheduled_events(self) -> int:
+        """Total events ever scheduled (the self-perf events/sec numerator)."""
+        return self._seq
+
+    @staticmethod
+    def decode_key(key: int) -> tuple[int, int]:
+        """Unpack a heap key into ``(priority, seq)``."""
+        return key >> SEQ_BITS, key & ((1 << SEQ_BITS) - 1)
+
     # -- event factories -------------------------------------------------------
     def event(self) -> Event:
         """A fresh untriggered event."""
+        pool = _EVENT_FREE
+        if pool:
+            event = pool.pop()
+            event.env = self
+            event._value = _PENDING
+            event._ok = True
+            event._triggered = False
+            event._processed = False
+            event._defused = False
+            return event
         return Event(self)
 
     def timeout(self, delay: int, value: Any = None, priority: int = PRIORITY_NORMAL) -> Timeout:
         """An event that fires ``delay`` nanoseconds from now."""
+        pool = _TIMEOUT_FREE
+        if pool and type(delay) is int and delay >= 0:
+            timeout = pool.pop()
+            timeout.env = self
+            timeout.delay = delay
+            timeout._value = value
+            timeout._ok = True
+            timeout._triggered = True
+            timeout._processed = False
+            timeout._defused = False
+            seq = self._seq + 1
+            self._seq = seq
+            if delay:
+                heappush(self._heap,
+                         (self._now + delay, (priority << SEQ_BITS) + seq, timeout))
+            elif priority == PRIORITY_NORMAL:
+                self._imm.append(((PRIORITY_NORMAL << SEQ_BITS) + seq, timeout))
+            else:
+                heappush(self._heap, (self._now, (priority << SEQ_BITS) + seq, timeout))
+            return timeout
+        # Cold path: fresh allocation, with full argument validation.
         return Timeout(self, delay, value, priority)
 
     def process(self, generator: Generator, name: str = "") -> Process:
@@ -76,21 +161,44 @@ class Environment:
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
         self._seq += 1
-        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+        if delay == 0 and priority == PRIORITY_NORMAL:
+            self._imm.append(((PRIORITY_NORMAL << SEQ_BITS) + self._seq, event))
+            return
+        heappush(self._heap,
+                 (self._now + delay, (priority << SEQ_BITS) + self._seq, event))
 
     def peek(self) -> Optional[int]:
-        """Time of the next scheduled event, or None if the heap is empty."""
+        """Time of the next scheduled event, or None if nothing is queued."""
+        if self._imm:
+            return self._now
         return self._heap[0][0] if self._heap else None
 
     def step(self) -> None:
-        """Fire exactly one event (the earliest)."""
-        if not self._heap:
+        """Fire exactly one event (the earliest) — the reference path.
+
+        The next event is the smaller of the heap head and the immediate
+        queue head (immediate entries are all at the current time; a heap
+        entry wins only if it is at the current time with a smaller key).
+        This merge rule is shared verbatim with the drain loops, so both
+        paths fire events in the same order.
+        """
+        imm = self._imm
+        if imm:
+            heap = self._heap
+            if heap and heap[0][0] == self._now and heap[0][1] < imm[0][0]:
+                when, key, event = heappop(heap)
+            else:
+                when = self._now
+                key, event = imm.popleft()
+        elif self._heap:
+            when, key, event = heappop(self._heap)
+        else:
             raise SimulationError("step() on an empty event heap")
-        when, _prio, _seq, event = heapq.heappop(self._heap)
         if when < self._now:  # pragma: no cover - guarded by schedule()
             raise SimulationError("event heap corrupted: time went backwards")
         self._now = when
         if self.trace is not None:
+            self.last_key = key
             self.trace(when, event)
         callbacks, event.callbacks = event.callbacks, None
         event._processed = True
@@ -100,6 +208,226 @@ class Environment:
             exc = event._value
             raise exc
 
+    def run_steps(self, n: int) -> int:
+        """Fire at most ``n`` events via :meth:`step`; return how many fired.
+
+        A debugging helper: lets a test or a REPL session single-step through
+        an interleaving (``env.run_steps(1)``) or drive a whole run on the
+        reference path to compare against the drain loop.
+        """
+        if n < 0:
+            raise ValueError(f"cannot run a negative number of steps ({n})")
+        fired = 0
+        while fired < n and (self._imm or self._heap):
+            self.step()
+            fired += 1
+        return fired
+
+    # -- the drain loop ---------------------------------------------------------
+    def _drain(self, target: Optional[Event]) -> None:
+        """Fire events until the heap empties or ``target`` is processed.
+
+        This is ``step()`` unrolled into ``run()``'s inner loop: no per-event
+        function call, a single ``trace`` check per event (hoisted from the
+        guards ``step()`` re-evaluates), and anonymous-event recycling.  Event
+        order is identical to repeated ``step()`` calls by construction —
+        both pop the same heap.
+
+        ``target`` is detected by identity *after* it fires (events become
+        processed only by being popped here, so ``event is target`` is exactly
+        the old "peek at ``target._processed``" check, one compare cheaper).
+        ``target=None`` runs to quiescence.
+        """
+        heap = self._heap
+        imm = self._imm
+        getrefcount = sys.getrefcount
+        now = self._now
+        while True:
+            if imm:
+                # Immediate entries are all at the current instant; a heap
+                # entry fires first only if it is at this instant with a
+                # smaller key (scheduled earlier, or at higher priority).
+                if heap and heap[0][0] == now and heap[0][1] < imm[0][0]:
+                    now, key, event = heappop(heap)
+                else:
+                    key, event = imm.popleft()
+            elif heap:
+                now, key, event = heappop(heap)
+                self._now = now
+            else:
+                return
+            trace = self.trace
+            if trace is not None:
+                self.last_key = key
+                trace(now, event)
+            callbacks = event.callbacks
+            event.callbacks = None
+            event._processed = True
+            if len(callbacks) == 1:
+                cb = callbacks[0]
+                if cb.__class__ is Process:
+                    # Dominant case: exactly one waiting process.  Drive its
+                    # generator right here — a faithful inline of
+                    # Process._resume, minus the per-event call frame.
+                    self._active_process = cb
+                    try:
+                        if event._ok:
+                            next_event = cb._send(event._value)
+                        else:
+                            event._defused = True
+                            next_event = cb._throw(event._value)
+                    except StopIteration as exc:
+                        self._active_process = None
+                        self._active_processes -= 1
+                        cb.succeed(exc.value)
+                    except StopProcess as exc:
+                        self._active_process = None
+                        self._active_processes -= 1
+                        cb._generator.close()
+                        cb.succeed(exc.value)
+                    except BaseException as exc:
+                        self._active_process = None
+                        self._active_processes -= 1
+                        cb.fail(exc)
+                    else:
+                        self._active_process = None
+                        try:
+                            next_event.callbacks.append(cb)
+                            cb._target = next_event
+                        except AttributeError:
+                            if isinstance(next_event, Event) and next_event._processed:
+                                cb._resume(next_event)  # rare: already fired
+                            else:
+                                self._active_processes -= 1
+                                cb.fail(SimulationError(
+                                    f"process {cb.name!r} yielded a "
+                                    f"non-event: {next_event!r}"))
+                        else:
+                            if next_event.env is not self:
+                                next_event.callbacks.remove(cb)
+                                self._active_processes -= 1
+                                cb.fail(SimulationError(
+                                    f"process {cb.name!r} yielded an event "
+                                    "from another environment"))
+                else:
+                    cb(event)
+            else:
+                for callback in callbacks:
+                    callback(event)
+            if not event._ok and not event._defused:
+                raise event._value
+            if event is target:
+                return
+            # Recycle the event iff nothing outside this loop references it
+            # (or its callbacks list): two refs = the local + getrefcount's
+            # own argument.  See repro.simkernel.events for the invariants.
+            pool = event._pool
+            if (pool is not None
+                    and len(pool) < _POOL_CAP
+                    and getrefcount(event) == 2):
+                # Only detach what must not leak; flag/value resets happen at
+                # the pop sites (event()/timeout()/Store.put/Store.get), which
+                # overwrite most fields anyway.
+                event.env = None
+                event.callbacks = []
+                pool.append(event)
+
+    def _drain_time(self, until_time: int) -> None:
+        """Like :meth:`_drain` but stops before passing ``until_time``.
+
+        Kept as a separate loop so the common ``run()``/``run(until=event)``
+        paths pay nothing for the extra per-iteration heap peek.
+        """
+        heap = self._heap
+        imm = self._imm
+        getrefcount = sys.getrefcount
+        now = self._now
+        while True:
+            if imm:
+                # Immediate entries never pass until_time (they are at the
+                # current instant, which run() has already bounds-checked).
+                if heap and heap[0][0] == now and heap[0][1] < imm[0][0]:
+                    now, key, event = heappop(heap)
+                else:
+                    key, event = imm.popleft()
+            elif heap:
+                if heap[0][0] > until_time:
+                    return
+                now, key, event = heappop(heap)
+                self._now = now
+            else:
+                return
+            trace = self.trace
+            if trace is not None:
+                self.last_key = key
+                trace(now, event)
+            callbacks = event.callbacks
+            event.callbacks = None
+            event._processed = True
+            if len(callbacks) == 1:
+                cb = callbacks[0]
+                if cb.__class__ is Process:
+                    # Dominant case: exactly one waiting process.  Drive its
+                    # generator right here — a faithful inline of
+                    # Process._resume, minus the per-event call frame.
+                    self._active_process = cb
+                    try:
+                        if event._ok:
+                            next_event = cb._send(event._value)
+                        else:
+                            event._defused = True
+                            next_event = cb._throw(event._value)
+                    except StopIteration as exc:
+                        self._active_process = None
+                        self._active_processes -= 1
+                        cb.succeed(exc.value)
+                    except StopProcess as exc:
+                        self._active_process = None
+                        self._active_processes -= 1
+                        cb._generator.close()
+                        cb.succeed(exc.value)
+                    except BaseException as exc:
+                        self._active_process = None
+                        self._active_processes -= 1
+                        cb.fail(exc)
+                    else:
+                        self._active_process = None
+                        try:
+                            next_event.callbacks.append(cb)
+                            cb._target = next_event
+                        except AttributeError:
+                            if isinstance(next_event, Event) and next_event._processed:
+                                cb._resume(next_event)  # rare: already fired
+                            else:
+                                self._active_processes -= 1
+                                cb.fail(SimulationError(
+                                    f"process {cb.name!r} yielded a "
+                                    f"non-event: {next_event!r}"))
+                        else:
+                            if next_event.env is not self:
+                                next_event.callbacks.remove(cb)
+                                self._active_processes -= 1
+                                cb.fail(SimulationError(
+                                    f"process {cb.name!r} yielded an event "
+                                    "from another environment"))
+                else:
+                    cb(event)
+            else:
+                for callback in callbacks:
+                    callback(event)
+            if not event._ok and not event._defused:
+                raise event._value
+            pool = event._pool
+            if (pool is not None
+                    and len(pool) < _POOL_CAP
+                    and getrefcount(event) == 2):
+                # Only detach what must not leak; flag/value resets happen at
+                # the pop sites (event()/timeout()/Store.put/Store.get), which
+                # overwrite most fields anyway.
+                event.env = None
+                event.callbacks = []
+                pool.append(event)
+
     def run(self, until: Optional[int | Event] = None) -> Any:
         """Run until the heap drains, time ``until`` passes, or event fires.
 
@@ -108,23 +436,37 @@ class Environment:
           ``now`` is set to exactly ``until`` even if the heap drains early.
         * ``until=<Event>`` — run until the event fires and return its value
           (raises ``SimulationError`` if the heap drains first).
+
+        The cyclic garbage collector is paused for the duration of the drain
+        (and restored to its prior state after): the hot loop churns heap-entry
+        tuples fast enough to trigger a gen-0 collection every few hundred
+        events, and the kernel's own objects are either pooled or freed by
+        reference counting.  Cyclic garbage produced by the model (conditions,
+        abandoned processes) is collected once the run returns.
         """
         if until is None:
-            while self._heap:
-                self.step()
+            gc_was_enabled = gc.isenabled()
+            if gc_was_enabled:
+                gc.disable()
+            try:
+                self._drain(None)
+            finally:
+                if gc_was_enabled:
+                    gc.enable()
             return None
 
         if isinstance(until, Event):
             target = until
-            if target._processed:
-                if not target._ok:
-                    raise target._value
-                return target._value
-            sentinel: list[bool] = []
-            target.callbacks.append(lambda _e: sentinel.append(True))
-            while self._heap and not sentinel:
-                self.step()
-            if not sentinel:
+            if not target._processed:
+                gc_was_enabled = gc.isenabled()
+                if gc_was_enabled:
+                    gc.disable()
+                try:
+                    self._drain(target)
+                finally:
+                    if gc_was_enabled:
+                        gc.enable()
+            if not target._processed:
                 raise SimulationError(
                     "run(until=event): event heap drained before the event fired "
                     "(deadlock: some process is waiting on a condition that can "
@@ -138,12 +480,22 @@ class Environment:
         if isinstance(until, int):
             if until < self._now:
                 raise ValueError(f"until ({until}) is in the past (now={self._now})")
-            while self._heap and self._heap[0][0] <= until:
-                self.step()
+            # Empty-heap (or already-idle-past-until) fast path: advance the
+            # clock without touching any event machinery.
+            if self._imm or (self._heap and self._heap[0][0] <= until):
+                gc_was_enabled = gc.isenabled()
+                if gc_was_enabled:
+                    gc.disable()
+                try:
+                    self._drain_time(until)
+                finally:
+                    if gc_was_enabled:
+                        gc.enable()
             self._now = until
             return None
 
         raise TypeError(f"until must be None, an int time, or an Event; got {until!r}")
 
     def __repr__(self) -> str:
-        return f"<Environment now={self._now} pending={len(self._heap)}>"
+        pending = len(self._heap) + len(self._imm)
+        return f"<Environment now={self._now} pending={pending}>"

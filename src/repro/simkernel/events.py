@@ -15,6 +15,8 @@ first, or for all of them.
 
 from __future__ import annotations
 
+import sys
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
 from repro.simkernel.errors import EventAlreadyTriggered
@@ -26,6 +28,50 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 PRIORITY_HIGH = 0
 PRIORITY_NORMAL = 1
 PRIORITY_LOW = 2
+
+#: Heap-entry key packing.  An event's tie-break pair (priority, seq) is
+#: collapsed into the single integer ``(priority << SEQ_BITS) + seq`` so heap
+#: entries are compact 3-tuples ``(time, key, event)`` and same-time ordering
+#: compares one int instead of two.  ``seq`` is strictly increasing and
+#: bounded by the event count of a run (~4.5e15 before the packing would
+#: overflow into the priority bits — unreachable), so the packed order is
+#: exactly the old (time, priority, seq) order, for negative priorities too.
+SEQ_BITS = 52
+
+# -- object pooling -----------------------------------------------------------
+#
+# The hot path allocates one Event subclass instance plus one callbacks list
+# per simulated event.  Most of those objects are *anonymous*: a process does
+# ``yield env.timeout(5)`` or ``yield store.put(item)`` and never touches the
+# event again, so the instant its callbacks have run the kernel holds the only
+# reference.  ``Environment``'s drain loop detects exactly that case with a
+# refcount probe (two references: the loop local and getrefcount's argument)
+# and recycles the event and its callbacks list into a per-class free list.
+# Events the model still references (``t = env.timeout(...)``; condition
+# constituents; process events) always fail the probe and are left alone, so
+# pooling is invisible to user code.  Pools are keyed by *exact* class;
+# subclasses that are not registered are never pooled.
+_POOL_CAP = 512
+_POOLING = sys.implementation.name == "cpython"  # refcount probe semantics
+_EVENT_POOLS: dict[type, list] = {}
+
+
+def _register_pool(cls: type) -> list:
+    """Give ``cls`` a free list.
+
+    The pool is exposed two ways: in ``_EVENT_POOLS`` (introspection and
+    test resets) and — when pooling is active — as a ``cls._pool`` class
+    attribute, which the drain loop reads off the event instance directly
+    (one cached attribute load instead of a dict lookup per event).
+    Unregistered classes inherit ``_pool = None`` from :class:`Event` and
+    are never recycled.  Subclass-specific fields (e.g. ``StorePut.item``)
+    are NOT cleared on recycle; pop sites overwrite them on reuse.
+    """
+    pool: list = []
+    _EVENT_POOLS[cls] = pool
+    if _POOLING:
+        cls._pool = pool
+    return pool
 
 
 class Event:
@@ -40,6 +86,19 @@ class Event:
 
     #: Sentinel meaning "no value yet".
     _PENDING = object()
+
+    #: Free-list hook; overridden per class by ``_register_pool``.
+    _pool: Optional[list] = None
+
+    def __init_subclass__(cls, **kwargs):
+        """Opt subclasses out of pooling unless they register their own pool.
+
+        Pools hold instances of one exact class; without this, a subclass
+        would inherit its parent's ``_pool`` and the drain loop would recycle
+        e.g. an ``AllOf`` into the plain-:class:`Event` free list.
+        """
+        super().__init_subclass__(**kwargs)
+        cls._pool = None
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -80,7 +139,16 @@ class Event:
         self._ok = True
         self._value = value
         self._triggered = True
-        self.env.schedule(self, delay=0, priority=priority)
+        # Inlined env.schedule(self, delay=0, priority=priority): succeed is
+        # the single hottest trigger path (every store put/get, every resource
+        # grant) and delay is always 0 here — normal priority goes straight
+        # to the environment's immediate FIFO, skipping the heap sift.
+        env = self.env
+        env._seq += 1
+        if priority == PRIORITY_NORMAL:
+            env._imm.append(((PRIORITY_NORMAL << SEQ_BITS) + env._seq, self))
+        else:
+            heappush(env._heap, (env._now, (priority << SEQ_BITS) + env._seq, self))
         return self
 
     def fail(self, exception: BaseException, priority: int = PRIORITY_NORMAL) -> "Event":
@@ -238,3 +306,10 @@ class AllOf(Condition):
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env, _eval_all, events)
+
+
+#: Free lists for the anonymous-event fast paths (see ``_register_pool``).
+#: ``Environment.event()`` / ``Environment.timeout()`` draw from these;
+#: ``repro.simkernel.store`` registers its waiter classes on import.
+_EVENT_FREE = _register_pool(Event)
+_TIMEOUT_FREE = _register_pool(Timeout)

@@ -28,7 +28,7 @@ class Process(Event):
     any process waiting on it (or abort ``run()`` if nobody waits).
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "name", "_send", "_throw")
 
     def __init__(self, env: "Environment", generator: Generator, name: str = ""):
         if not isinstance(generator, GeneratorType):
@@ -40,8 +40,16 @@ class Process(Event):
         self._generator = generator
         self._target: Optional[Event] = None
         self.name = name or generator.__name__
-        init = Event(env)
-        init.callbacks.append(self._resume)
+        # One bound method each, created once: the kernel calls send/throw
+        # per yield, and per-access bound-method allocation is measurable on
+        # the hot path.  The process registers *itself* as the callback on
+        # events it waits for (``__call__`` aliases ``_resume``), which lets
+        # the drain loop recognise "one waiting process" with a single type
+        # check and drive the generator without an extra call frame.
+        self._send = generator.send
+        self._throw = generator.throw
+        init = env.event()
+        init.callbacks.append(self)
         init.succeed(None)
         env._active_processes += 1
 
@@ -76,27 +84,36 @@ class Process(Event):
             return  # process finished between interrupt scheduling and delivery
         if self._target is not None and self._target.callbacks is not None:
             try:
-                self._target.callbacks.remove(self._resume)
+                self._target.callbacks.remove(self)
             except ValueError:  # pragma: no cover - already detached
                 pass
         self._target = None
-        self._step(event, throw=True)
+        self._resume(event)
 
-    def _resume(self, event: Event) -> None:
-        self._target = None
-        self._step(event, throw=not event._ok)
+    def _resume(self, event: Event, throw: Optional[bool] = None) -> None:
+        """Advance the generator after ``event`` fired (the kernel callback).
 
-    def _step(self, event: Event, throw: bool) -> None:
+        ``throw`` defaults to "throw iff the event failed"; the body is the
+        old ``_step`` inlined — one frame per resume instead of two.
+        ``_target`` is left stale while the generator runs (it is overwritten
+        at the next yield or the process dies); only the interrupt path needs
+        it cleared eagerly, which ``_resume_interrupt`` does itself.
+        """
+        if throw is None:
+            throw = not event._ok
+        # Callbacks only ever run from the kernel's drain/step loops (never
+        # nested inside another resume), so the previous active process is
+        # always None — set/clear directly instead of saving and restoring.
         env = self.env
-        prev, env._active_process = env.active_process, self
+        env._active_process = self
         try:
             while True:
                 try:
                     if throw:
                         event._defused = True
-                        next_event = self._generator.throw(event._value)
+                        next_event = self._throw(event._value)
                     else:
-                        next_event = self._generator.send(event._value if event is not None else None)
+                        next_event = self._send(event._value)
                 except StopIteration as exc:
                     env._active_processes -= 1
                     self.succeed(exc.value)
@@ -111,29 +128,36 @@ class Process(Event):
                     self.fail(exc)
                     return
 
-                if not isinstance(next_event, Event):
+                # Optimistically register on the yielded event; the rare cases
+                # (already processed -> callbacks is None, or not an event at
+                # all) surface as AttributeError, keeping the per-yield path
+                # free of isinstance/processed checks.
+                try:
+                    next_event.callbacks.append(self)
+                except AttributeError:
+                    if isinstance(next_event, Event) and next_event._processed:
+                        # Already fired: continue synchronously.
+                        event, throw = next_event, not next_event._ok
+                        continue
                     env._active_processes -= 1
-                    err = SimulationError(
+                    self.fail(SimulationError(
                         f"process {self.name!r} yielded a non-event: {next_event!r}"
-                    )
-                    self.fail(err)
+                    ))
                     return
                 if next_event.env is not env:
+                    next_event.callbacks.remove(self)
                     env._active_processes -= 1
                     self.fail(SimulationError(
                         f"process {self.name!r} yielded an event from another environment"
                     ))
                     return
-
-                if next_event._processed:
-                    # Already fired: continue synchronously without rescheduling.
-                    event, throw = next_event, not next_event._ok
-                    continue
                 self._target = next_event
-                next_event.callbacks.append(self._resume)
                 return
         finally:
-            env._active_process = prev
+            env._active_process = None
+
+    #: Processes are their own resume callbacks (see ``__init__``).
+    __call__ = _resume
 
     def __repr__(self) -> str:
         state = "dead" if self._triggered else "alive"

@@ -12,7 +12,7 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
-from repro.simkernel.events import Event
+from repro.simkernel.events import Event, PRIORITY_NORMAL, SEQ_BITS, _register_pool
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simkernel.env import Environment
@@ -34,8 +34,22 @@ class StoreGet(Event):
     __slots__ = ()
 
 
+#: Free lists for the waiter fast paths (drained by Environment._drain).
+#: A recycled StorePut keeps its last ``item`` reference until reuse
+#: overwrites it — at most _POOL_CAP items pinned, which keeps the drain
+#: loop free of a per-event clear call.
+_PUT_FREE = _register_pool(StorePut)
+_GET_FREE = _register_pool(StoreGet)
+
+#: Packed heap-key base for PRIORITY_NORMAL (see events.SEQ_BITS) — the
+#: inlined succeed() in the put/get fast paths adds the sequence number.
+_NORMAL_KEY = PRIORITY_NORMAL << SEQ_BITS
+
+
 class Store:
     """Deterministic bounded FIFO queue of items."""
+
+    __slots__ = ("env", "capacity", "name", "items", "_puts", "_gets")
 
     def __init__(self, env: "Environment", capacity: float = float("inf"), name: str = ""):
         if capacity != float("inf"):
@@ -59,13 +73,80 @@ class Store:
         return len(self.items) >= self.capacity
 
     def put(self, item: Any) -> StorePut:
-        event = StorePut(self.env, item)
+        env = self.env
+        pool = _PUT_FREE
+        if pool:
+            event = pool.pop()
+            event.env = env
+            event.item = item
+            event._ok = True
+            event._processed = False
+            event._defused = False
+        else:
+            event = StorePut(env, item)
+        items = self.items
+        if not self._puts and len(items) < self.capacity:
+            # Fast path: the put is admitted immediately, exactly as
+            # _settle's first loop iteration would do.  If getters are
+            # queued the store was empty, so exactly one get can now be
+            # satisfied (with this very item) and the store is quiescent
+            # again — the full _settle sweep is provably a no-op beyond it.
+            # succeed() is inlined (the events are known-untriggered).
+            items.append(item)
+            event._value = item
+            event._triggered = True
+            seq = env._seq + 1
+            env._seq = seq
+            env._imm.append((_NORMAL_KEY + seq, event))
+            gets = self._gets
+            if gets:
+                get = gets.popleft()
+                get._value = items.popleft()
+                get._triggered = True
+                seq += 1
+                env._seq = seq
+                env._imm.append((_NORMAL_KEY + seq, get))
+            return event
+        event._triggered = False
         self._puts.append(event)
         self._settle()
         return event
 
     def get(self) -> StoreGet:
-        event = StoreGet(self.env)
+        env = self.env
+        pool = _GET_FREE
+        if pool:
+            event = pool.pop()
+            event.env = env
+            event._ok = True
+            event._processed = False
+            event._defused = False
+        else:
+            event = StoreGet(env)
+        items = self.items
+        if not self._gets and items:
+            # Fast path, mirroring _settle's order: at call time any queued
+            # put is blocked (store full), so the get fires first; the freed
+            # slot then admits exactly one queued put, restoring fullness —
+            # again quiescent with no further transfers possible.
+            # succeed() is inlined (the events are known-untriggered).
+            event._value = items.popleft()
+            event._triggered = True
+            seq = env._seq + 1
+            env._seq = seq
+            env._imm.append((_NORMAL_KEY + seq, event))
+            puts = self._puts
+            if puts:
+                put = puts.popleft()
+                item = put.item
+                items.append(item)
+                put._value = item
+                put._triggered = True
+                seq += 1
+                env._seq = seq
+                env._imm.append((_NORMAL_KEY + seq, put))
+            return event
+        event._triggered = False
         self._gets.append(event)
         self._settle()
         return event
@@ -93,18 +174,29 @@ class Store:
 
     # -- internals --------------------------------------------------------------
     def _settle(self) -> None:
-        """Admit queued puts and satisfy queued gets until quiescent."""
+        """Admit queued puts and satisfy queued gets until quiescent.
+
+        Ordering is load-bearing for determinism: every admissible put
+        succeeds before any queued get is satisfied, then all satisfiable
+        gets succeed, and only then are puts reconsidered — the succeed()
+        sequence (and with it the event order) matches the pre-fast-path
+        kernel exactly.
+        """
+        items = self.items
+        puts = self._puts
+        gets = self._gets
+        capacity = self.capacity
         progress = True
         while progress:
             progress = False
-            while self._puts and len(self.items) < self.capacity:
-                put = self._puts.popleft()
-                self.items.append(put.item)
+            while puts and len(items) < capacity:
+                put = puts.popleft()
+                items.append(put.item)
                 put.succeed(put.item)
                 progress = True
-            while self._gets and self.items:
-                get = self._gets.popleft()
-                get.succeed(self.items.popleft())
+            while gets and items:
+                get = gets.popleft()
+                get.succeed(items.popleft())
                 progress = True
 
     def __repr__(self) -> str:
@@ -115,6 +207,8 @@ class Store:
 
 class PeekableStore(Store):
     """Store that additionally allows observing the head without removal."""
+
+    __slots__ = ()
 
     def peek(self) -> Optional[Any]:
         return self.items[0] if self.items else None

@@ -23,6 +23,12 @@ class TraceRecord:
     time: int
     kind: str       # "timeout" | "process" | "event"
     name: str
+    #: Scheduling tie-break pair of the fired event (kernel heap order);
+    #: ``seq`` is the global schedule sequence number, ``priority`` the
+    #: event's PRIORITY_* level.  Lets determinism tests compare full
+    #: (time, seq, priority) histories, not just names.
+    seq: int = 0
+    priority: int = 0
 
     def __iter__(self):
         return iter((self.time, self.kind, self.name))
@@ -36,11 +42,13 @@ class Tracer:
     #: Optional predicate limiting what gets recorded.
     keep: Optional[Callable[[TraceRecord], bool]] = None
     _previous: Optional[Callable] = None
+    _env: Optional["Environment"] = None
 
     def attach(self, env: "Environment") -> "Tracer":
         if env.trace is not None:
             self._previous = env.trace
         env.trace = self._hook
+        self._env = env
         return self
 
     def detach(self, env: "Environment") -> None:
@@ -54,6 +62,7 @@ class Tracer:
         if getattr(env.trace, "__self__", None) is self:
             env.trace = self._previous
             self._previous = None
+            self._env = None
             return
         # Walk the chain of Tracer hooks looking for the one whose
         # ``_previous`` is us, then splice past it.  (Bound methods are
@@ -67,6 +76,7 @@ class Tracer:
             if getattr(owner._previous, "__self__", None) is self:
                 owner._previous = self._previous
                 self._previous = None
+                self._env = None
                 return
             hook = owner._previous
         raise ValueError(
@@ -74,12 +84,16 @@ class Tracer:
         )
 
     def _hook(self, time: int, event: Event) -> None:
+        if self._env is not None:
+            priority, seq = self._env.decode_key(self._env.last_key)
+        else:  # pragma: no cover - attach() always sets _env
+            priority, seq = 0, 0
         if isinstance(event, Process):
-            record = TraceRecord(time, "process", event.name)
+            record = TraceRecord(time, "process", event.name, seq, priority)
         elif isinstance(event, Timeout):
-            record = TraceRecord(time, "timeout", f"+{event.delay}")
+            record = TraceRecord(time, "timeout", f"+{event.delay}", seq, priority)
         else:
-            record = TraceRecord(time, "event", type(event).__name__)
+            record = TraceRecord(time, "event", type(event).__name__, seq, priority)
         if self.keep is None or self.keep(record):
             self.records.append(record)
         if self._previous is not None:

@@ -67,6 +67,46 @@ def socket_workload_trace():
     return tracer, out, cluster.now
 
 
+def fm2_stream_trace(slow_path: bool = False):
+    """A 2-node FM2 message stream, traced; optionally on the reference path.
+
+    ``slow_path=True`` drives the whole run through ``step()`` /
+    ``run_steps()`` (no drain-loop inlining, no event recycling) instead of
+    ``env.run()``'s batched drain — the two must fire the exact same events.
+    """
+    cluster = Cluster(2, machine=PPRO_FM2, fm_version=2)
+    env = cluster.env
+    tracer = Tracer().attach(env)
+    log = []
+
+    def handler(fm, stream, src):
+        log.append((yield from stream.receive_bytes(stream.msg_bytes)))
+
+    hid = {n.fm.register_handler(handler) for n in cluster.nodes}.pop()
+    payloads = [bytes((i * 37 + m) % 256 for i in range(1500)) for m in range(10)]
+
+    def sender(node):
+        buf = node.buffer(1500)
+        for payload in payloads:
+            buf.write(payload)
+            yield from node.fm.send_buffer(1, hid, buf, 1500)
+
+    def receiver(node):
+        while len(log) < len(payloads):
+            got = yield from node.fm.extract()
+            if not got:
+                yield node.env.timeout(500)
+
+    done = env.all_of([cluster.spawn(sender, 0), cluster.spawn(receiver, 1)])
+    if slow_path:
+        while not done.processed:
+            assert env.run_steps(64) > 0, "deadlock on the reference path"
+    else:
+        env.run(until=done)
+    assert log == payloads
+    return tracer, env.now
+
+
 class TestDeterminism:
     def test_mpi_workload_bit_identical(self):
         first_trace, first_out, first_now = mixed_workload_trace()
@@ -84,6 +124,19 @@ class TestDeterminism:
         assert first_out == second_out
         assert [tuple(r) for r in first_trace.records] == \
             [tuple(r) for r in second_trace.records]
+
+    def test_fast_path_matches_reference_path(self):
+        """The drain loop's fast paths (callback inlining, event pooling,
+        immediate queue) fire the exact same (time, seq, priority, kind,
+        name) sequence as single-stepping through ``step()``."""
+        fast_trace, fast_now = fm2_stream_trace(slow_path=False)
+        slow_trace, slow_now = fm2_stream_trace(slow_path=True)
+        assert fast_now == slow_now
+        fast = [(r.time, r.seq, r.priority, r.kind, r.name)
+                for r in fast_trace.records]
+        slow = [(r.time, r.seq, r.priority, r.kind, r.name)
+                for r in slow_trace.records]
+        assert fast == slow
 
     def test_observability_does_not_perturb_results(self):
         """Bit-identical event histories and outputs with obs on vs off —
