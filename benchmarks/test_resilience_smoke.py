@@ -1,0 +1,77 @@
+"""Resilience smoke test — wired into tier-1 via pyproject testpaths.
+
+A miniature of the resilience sweep: one short reliable transfer through
+a planned drop window (retransmissions happen, everything arrives) and
+one FM run that fails loudly and diagnosably under a corruption burst.
+Fast by construction, so it runs with the regular test suite rather than
+the benchmark tier.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.configs import PPRO_FM2
+from repro.core.common import FmTransportError
+from repro.ext import SwReliablePair
+from repro.faults import FaultPlan, LinkFault
+
+pytestmark = pytest.mark.fast
+
+
+class TestResilienceSmoke:
+    def test_swrel_recovers_through_a_drop_window(self):
+        cluster = Cluster(2, machine=PPRO_FM2, fm_version=2)
+        observer = cluster.observe()
+        injector = cluster.inject_faults(FaultPlan(seed=2, episodes=(
+            LinkFault(link="link:h0->*", start_ns=0, end_ns=200_000,
+                      drop_rate=0.5),)))
+        pair = SwReliablePair(cluster, 0, 1)
+        payloads = [bytes([i]) * 1200 for i in range(4)]
+        got = []
+        sender_done = [False]
+
+        def sender(node):
+            for payload in payloads:
+                yield from pair.send_message(payload)
+            sender_done[0] = True
+
+        def receiver(node):
+            while (len(got) < len(payloads) or not sender_done[0]
+                   or pair.outstanding):
+                messages = yield from pair.deliver()
+                got.extend(messages)
+                if not messages:
+                    yield node.env.timeout(300)
+
+        cluster.run([sender, receiver])
+        assert got == payloads
+        assert pair.retransmissions > 0
+        assert injector.counters["link.drop"] > 0
+        assert any(s.layer == "fault" for s in observer.spans)
+
+    def test_fm_fails_loud_under_burst(self):
+        cluster = Cluster(2, machine=PPRO_FM2, fm_version=2)
+        cluster.inject_faults(FaultPlan(seed=2, episodes=(
+            LinkFault(link="link:h0->*", ber=1e-3),)))
+
+        def handler(fm, stream, src):
+            yield from stream.receive_bytes(stream.msg_bytes)
+
+        hid = {n.fm.register_handler(handler) for n in cluster.nodes}.pop()
+
+        def sender(node):
+            buf = node.buffer(1500)
+            for _ in range(20):
+                yield from node.fm.send_buffer(1, hid, buf, 1500)
+
+        def receiver(node):
+            while True:
+                got = yield from node.fm.extract()
+                if not got:
+                    yield node.env.timeout(300)
+
+        with pytest.raises(FmTransportError) as exc_info:
+            cluster.run([sender, receiver], until_ns=1_000_000_000)
+        assert "detected at node 1" in exc_info.value.diagnose()

@@ -100,7 +100,30 @@ class Cluster:
         observer.attach(self.env)
         for i, node in enumerate(self.nodes):
             observer.metrics.register_copy_meter(f"node{i}.cpu", node.cpu.meter)
+        if self.env.faults is not None:
+            observer.metrics.register_counters("faults",
+                                               self.env.faults.counters)
         return observer
+
+    def inject_faults(self, plan=None):
+        """Attach a :class:`~repro.faults.injector.FaultInjector` for ``plan``.
+
+        Pass a :class:`~repro.faults.plan.FaultPlan` (or ``None`` for an
+        empty one, which injects nothing).  Same contract as
+        :meth:`observe`: the hook costs nothing when absent, and a plan
+        with no episodes leaves the run bit-identical.  If an observer is
+        already attached, the injector's fault counters are federated into
+        its metrics registry; returns the injector (its ``events`` list is
+        the deterministic fault trace).
+        """
+        from repro.faults import FaultInjector  # deferred: faults is optional
+
+        injector = FaultInjector(plan)
+        injector.attach(self.env)
+        if self.env.obs is not None:
+            self.env.obs.metrics.register_counters("faults",
+                                                   injector.counters)
+        return injector
 
     # -- program execution ------------------------------------------------------
     def spawn(self, program: Program, node_id: int, name: str = "") -> Process:

@@ -19,10 +19,12 @@ properties (no drops, per-path FIFO, back-pressure) plus credits.
 
 from repro.core.common import (
     FM_CONTINUE,
+    FmCorruptionError,
     FmError,
     FmParams,
     FmProtocolError,
     FmStalledError,
+    FmTransportError,
     HandlerTable,
 )
 from repro.core.fm1.api import FM1
@@ -33,10 +35,12 @@ __all__ = [
     "FM1",
     "FM2",
     "FM_CONTINUE",
+    "FmCorruptionError",
     "FmError",
     "FmParams",
     "FmProtocolError",
     "FmStalledError",
+    "FmTransportError",
     "HandlerTable",
     "RecvStream",
     "SendStream",

@@ -43,7 +43,49 @@ class FmProtocolError(FmError):
     """API misuse: piece overflow, size mismatch, unknown handler id."""
 
 
-class FmCorruptionError(FmError):
+class FmTransportError(FmError):
+    """A transport-integrity failure detected at an FM endpoint — fail loud.
+
+    FM provides reliability by *construction* on top of a well-behaved
+    network; when fault injection breaks that assumption, the endpoint's
+    job is to fail **loudly and diagnosably** rather than hang or deliver
+    silently corrupted data.  The exception therefore carries everything
+    the extract path knew about the offending packet — which node
+    detected it, who sent it, which message/sequence it belonged to, when,
+    and the packet's full waypoint journey — rendered by :meth:`diagnose`.
+    """
+
+    def __init__(self, message: str, *, node: Optional[int] = None,
+                 src: Optional[int] = None, msg_id: Optional[int] = None,
+                 seq: Optional[int] = None, handler_id: Optional[int] = None,
+                 time_ns: Optional[int] = None, waypoints: tuple = ()):
+        super().__init__(message)
+        self.node = node
+        self.src = src
+        self.msg_id = msg_id
+        self.seq = seq
+        self.handler_id = handler_id
+        self.time_ns = time_ns
+        self.waypoints = tuple(waypoints)
+
+    def diagnose(self) -> str:
+        """A multi-line report: identity, timing, and the packet's journey."""
+        lines = [str(self)]
+        lines.append(
+            f"  detected at node {self.node} at t={self.time_ns} ns; "
+            f"packet src={self.src} msg_id={self.msg_id} seq={self.seq} "
+            f"handler={self.handler_id}"
+        )
+        if self.waypoints:
+            lines.append("  journey:")
+            prev_time = self.waypoints[0][1]
+            for location, time_ns in self.waypoints:
+                lines.append(f"    {time_ns:>12} ns  (+{time_ns - prev_time:>8})  {location}")
+                prev_time = time_ns
+        return "\n".join(lines)
+
+
+class FmCorruptionError(FmTransportError):
     """A corrupted packet reached an FM endpoint.
 
     FM provides reliability by *construction* on top of an error-free

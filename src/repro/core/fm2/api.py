@@ -125,10 +125,18 @@ class FM2(FmEndpoint):
         header = packet.header
         yield from self.cpu.per_packet()
         if not packet.crc_ok():
+            obs = self.env.obs
+            if obs is not None:
+                obs.span("fm", "corruption_detected", self.env.now,
+                         track=f"node{self.node_id}/fm", src=header.src,
+                         msg_id=header.msg_id, seq=header.seq)
             raise FmCorruptionError(
                 f"node {self.node_id} received a corrupted packet from "
                 f"{header.src}: FM relies on the network's (Myrinet's) "
-                "effectively-zero error rate and has no recovery (§3.1)"
+                "effectively-zero error rate and has no recovery (§3.1)",
+                node=self.node_id, src=header.src, msg_id=header.msg_id,
+                seq=header.seq, handler_id=header.handler_id,
+                time_ns=self.env.now, waypoints=tuple(packet.waypoints),
             )
         self.stats_recv_packets += 1
         obs = self.env.obs

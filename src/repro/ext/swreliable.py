@@ -13,18 +13,27 @@ retransmission — over the same simulated hardware, bypassing FM entirely:
   cumulatively acknowledged;
 * the receiver CRC-checks every packet, **drops** corrupt or out-of-order
   ones (go-back-N keeps no reorder buffer), and returns cumulative ACKs;
-* the sender retransmits the whole window on timeout.
+* the sender retransmits the whole window on timeout, with an **adaptive
+  RTO** (Jacobson/Karn SRTT estimation, exponential backoff on repeated
+  timeouts) and **dup-ACK fast retransmit** (three duplicate cumulative
+  ACKs trigger an immediate window resend without waiting out the RTO);
+* retransmission cost is fully accounted (:meth:`SwReliablePair.stats`):
+  wire bytes sent vs wasted on retransmission, timeouts vs fast
+  retransmits, the RTT estimate, and the longest progress gap.
 
 On a clean network it delivers the same guarantees as FM at a measurable
 bandwidth cost (the Figure 2 story quantified on our substrate); on a
-lossy network it keeps working — where FM, by design, fails loudly.
+lossy network — bit-error bursts or outright packet drops, injected
+statically via :class:`~repro.hardware.params.LinkParams` or per-window
+via :mod:`repro.faults` — it keeps working, where FM, by design, fails
+loudly (:class:`~repro.core.common.FmTransportError`).
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Generator, Optional
+from typing import Callable, Generator, Optional
 
 from repro.cluster.cluster import Cluster
 from repro.hardware.memory import Buffer
@@ -45,15 +54,27 @@ class SwRelParams:
 
     payload_bytes: int = 512      # packet payload
     window: int = 8               # go-back-N window, in packets
-    rto_ns: int = 300_000         # retransmission timeout
+    rto_ns: int = 300_000         # initial retransmission timeout
     ack_every: int = 1            # cumulative ACK frequency, in packets
-    give_up_ns: int = 500_000_000  # abort threshold (a protocol bug otherwise)
+    give_up_ns: int = 500_000_000  # abort threshold: max time *without progress*
+    min_rto_ns: int = 150_000     # adaptive RTO floor (> full-window ACK latency)
+    max_rto_ns: int = 10_000_000  # adaptive RTO ceiling (caps the backoff)
+    dup_ack_threshold: int = 3    # duplicate ACKs that trigger fast retransmit
 
     def __post_init__(self) -> None:
         if self.payload_bytes < 1 or self.window < 1 or self.ack_every < 1:
             raise ValueError("payload, window and ack_every must be >= 1")
         if self.rto_ns < 1:
             raise ValueError("rto must be positive")
+        if not 1 <= self.min_rto_ns <= self.rto_ns <= self.max_rto_ns:
+            raise ValueError(
+                f"need 1 <= min_rto_ns <= rto_ns <= max_rto_ns, got "
+                f"{self.min_rto_ns}/{self.rto_ns}/{self.max_rto_ns}"
+            )
+        if self.dup_ack_threshold < 1:
+            raise ValueError("dup_ack_threshold must be >= 1")
+        if self.give_up_ns < 1:
+            raise ValueError("give_up_ns must be positive")
 
 
 @dataclass
@@ -66,6 +87,7 @@ class _Unacked:
                                   # packet's header may be fault-marked in
                                   # flight; retransmissions start clean)
     sent_at: int
+    retransmitted: bool = False   # Karn: no RTT sample once retransmitted
 
 
 class SwReliablePair:
@@ -92,9 +114,22 @@ class SwReliablePair:
         self.base = 0                      # oldest unacknowledged seq
         self.outstanding: deque[_Unacked] = deque()
         self.retransmissions = 0
+        self.rto_ns = self.params.rto_ns   # current (adaptive) RTO
+        self._srtt = 0                     # smoothed RTT (0 = no sample yet)
+        self._rttvar = 0
+        self._dup_acks = 0
+        self._fast_retransmit_due = False
+        # Accounting (the bytes-wasted surface for the resilience sweep).
+        self.timeouts = 0
+        self.fast_retransmits = 0
+        self.acks_received = 0
+        self.wire_bytes_sent = 0
+        self.retransmitted_wire_bytes = 0
+        self.max_progress_gap_ns = 0
         # Receiver state.
         self.expected_seq = 0
         self.drops = 0                     # corrupt or out-of-order discards
+        self.delivered_bytes = 0
         self._assembly = bytearray()
         self._delivered: deque[bytes] = deque()
         self._acks_since_send = 0
@@ -111,8 +146,10 @@ class SwReliablePair:
                   for i in range(0, len(data), params.payload_bytes)] or [b""]
         for index, chunk in enumerate(chunks):
             # Wait for window space (absorbing ACKs, retransmitting on RTO).
-            while len(self.outstanding) >= params.window:
-                yield from self._sender_service()
+            # Bounded like drain(): a dead channel must raise, not spin
+            # simulated time forever.
+            yield from self._service_until(
+                lambda: len(self.outstanding) < params.window)
             flags = PacketFlags.NONE
             if index == 0:
                 flags |= PacketFlags.FIRST
@@ -138,19 +175,36 @@ class SwReliablePair:
 
     def drain(self) -> Generator:
         """Service the window until every sent packet is acknowledged."""
-        waited = 0
-        while self.outstanding:
+        yield from self._service_until(lambda: not self.outstanding)
+
+    def _service_until(self, ready: Callable[[], bool]) -> Generator:
+        """Service the sender until ``ready()``, bounded by the give-up clock.
+
+        The clock measures time since the window *last advanced* and resets
+        on every advance, so only a genuinely stuck channel trips it — a
+        long transfer that is steadily (if slowly) progressing through a
+        lossy link never does, no matter its total duration.
+        """
+        env = self.env
+        last_progress = env.now
+        while not ready():
             before = self.base
             yield from self._sender_service()
-            if self.base == before:
-                waited += IDLE_POLL_NS
-                if waited > self.params.give_up_ns:
-                    raise RuntimeError(
-                        f"swrel sender gave up at seq base {self.base}"
-                    )
+            if self.base != before:
+                gap = env.now - last_progress
+                if gap > self.max_progress_gap_ns:
+                    self.max_progress_gap_ns = gap
+                last_progress = env.now
+            elif env.now - last_progress > self.params.give_up_ns:
+                raise RuntimeError(
+                    f"swrel sender gave up at seq base {self.base}: no ACK "
+                    f"progress for {env.now - last_progress} ns "
+                    f"(window {len(self.outstanding)}, "
+                    f"{self.retransmissions} retransmissions)"
+                )
 
     def _sender_service(self) -> Generator:
-        """One poll step: absorb ACKs, retransmit on timeout, else idle."""
+        """One poll step: absorb ACKs, retransmit (fast or on RTO), else idle."""
         node = self.src_node
         yield from node.cpu.poll()
         progressed = False
@@ -162,10 +216,24 @@ class SwReliablePair:
             if not packet.crc_ok():
                 continue          # a corrupt ACK: later cumulative ones cover it
             if packet.header.flags & PacketFlags.ACK:
+                self.acks_received += 1
                 progressed |= self._absorb_ack(packet.header.credit_return)
-        if (self.outstanding
-                and self.env.now - self.outstanding[0].sent_at >= self.params.rto_ns):
-            yield from self._retransmit_window()
+        if self._fast_retransmit_due:
+            # Three duplicate ACKs: the receiver is alive and repeating
+            # itself, so the head of the window is lost — resend now
+            # instead of waiting out the RTO.
+            self._fast_retransmit_due = False
+            self._dup_acks = 0
+            self.fast_retransmits += 1
+            yield from self._retransmit_window("fast")
+            progressed = True
+        elif (self.outstanding
+                and self.env.now - self.outstanding[0].sent_at >= self.rto_ns):
+            self.timeouts += 1
+            yield from self._retransmit_window("timeout")
+            # Exponential backoff: a repeatedly silent channel gets probed
+            # at a falling rate until an RTT sample resets the estimate.
+            self.rto_ns = min(self.rto_ns * 2, self.params.max_rto_ns)
             progressed = True
         if not progressed:
             yield self.env.timeout(IDLE_POLL_NS)
@@ -173,28 +241,67 @@ class SwReliablePair:
     def _absorb_ack(self, ack_next: int) -> bool:
         """Cumulative ACK: everything below ``ack_next`` is delivered."""
         progressed = False
+        rtt_sample = None
         while self.outstanding and self.outstanding[0].seq < ack_next:
-            self.outstanding.popleft()
+            entry = self.outstanding.popleft()
+            if not entry.retransmitted:     # Karn: retransmits are ambiguous
+                rtt_sample = self.env.now - entry.sent_at
             progressed = True
         if progressed:
             self.base = ack_next
+            self._dup_acks = 0
+            self._fast_retransmit_due = False
+            if rtt_sample is not None:
+                self._update_rto(rtt_sample)
+        elif self.outstanding and ack_next == self.base:
+            # A duplicate of the current cumulative ACK: the receiver got
+            # something out of order, i.e. the head of our window is gone.
+            self._dup_acks += 1
+            if self._dup_acks >= self.params.dup_ack_threshold:
+                self._fast_retransmit_due = True
         return progressed
 
-    def _retransmit_window(self) -> Generator:
+    def _update_rto(self, sample: int) -> None:
+        """Jacobson's estimator (integer ns): RTO = SRTT + 4*RTTVAR, clamped."""
+        if self._srtt == 0:
+            self._srtt = sample
+            self._rttvar = sample // 2
+        else:
+            err = sample - self._srtt
+            self._srtt += err >> 3
+            self._rttvar += (abs(err) - self._rttvar) >> 2
+        self.rto_ns = min(max(self._srtt + 4 * self._rttvar,
+                              self.params.min_rto_ns),
+                          self.params.max_rto_ns)
+
+    def _retransmit_window(self, why: str) -> Generator:
         """Go-back-N: resend every outstanding packet, oldest first."""
+        obs = self.env.obs
+        t0 = self.env.now
+        resent_bytes = 0
         for entry in list(self.outstanding):
             self.retransmissions += 1
             header = PacketHeader(
                 src=self.src_node.node_id, dest=self.dst_node.node_id,
                 handler_id=0, msg_id=entry.msg_id, seq=entry.seq,
                 msg_bytes=entry.msg_bytes, flags=entry.flags)
-            yield from self._transmit(header, entry.retransmit_copy.read())
+            payload = entry.retransmit_copy.read()
+            resent_bytes += HEADER_BYTES + len(payload)
+            yield from self._transmit(header, payload)
             entry.sent_at = self.env.now
+            entry.retransmitted = True
+        self.retransmitted_wire_bytes += resent_bytes
+        if obs is not None and resent_bytes:
+            obs.span("swrel", "retransmit_window", t0,
+                     track=f"node{self.src_node.node_id}/swrel", why=why,
+                     packets=len(self.outstanding), bytes=resent_bytes,
+                     rto_ns=self.rto_ns)
 
     def _transmit(self, header: PacketHeader, payload: bytes) -> Generator:
         node = self.src_node
         packet = Packet(header, payload)
         self.cluster.fabric.stamp_route(packet)
+        self.wire_bytes_sent += packet.wire_bytes
         yield from node.cpu.per_packet()
         yield from node.bus.pio_write(node.cpu, packet.wire_bytes)
         yield from node.nic.submit(packet)
@@ -226,6 +333,7 @@ class SwReliablePair:
             self._assembly += packet.payload
             if header.is_last:
                 self._delivered.append(bytes(self._assembly))
+                self.delivered_bytes += len(self._assembly)
                 self._assembly.clear()
             if self._acks_since_send >= self.params.ack_every:
                 ack_due = True
@@ -248,8 +356,28 @@ class SwReliablePair:
         yield from node.bus.pio_write(node.cpu, HEADER_BYTES)
         yield from node.nic.submit(packet)
 
+    # -- accounting -----------------------------------------------------------
+    def stats(self) -> dict:
+        """The retransmission / bytes-wasted accounting surface."""
+        wasted = self.retransmitted_wire_bytes
+        total = self.wire_bytes_sent
+        return {
+            "retransmissions": self.retransmissions,
+            "timeouts": self.timeouts,
+            "fast_retransmits": self.fast_retransmits,
+            "acks_received": self.acks_received,
+            "drops": self.drops,
+            "wire_bytes_sent": total,
+            "retransmitted_wire_bytes": wasted,
+            "wasted_fraction": wasted / total if total else 0.0,
+            "delivered_bytes": self.delivered_bytes,
+            "srtt_ns": self._srtt,
+            "rto_ns": self.rto_ns,
+            "max_progress_gap_ns": self.max_progress_gap_ns,
+        }
+
     def __repr__(self) -> str:
         return (f"<SwReliablePair {self.src_node.node_id}->"
                 f"{self.dst_node.node_id} base={self.base} "
                 f"next={self.next_seq} rexmit={self.retransmissions} "
-                f"drops={self.drops}>")
+                f"drops={self.drops} rto={self.rto_ns}ns>")

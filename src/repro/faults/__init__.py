@@ -1,0 +1,50 @@
+"""Deterministic fault injection: the resilience counterpart to `repro.obs`.
+
+The paper's §3.1 reliability argument — FM needs no source buffering,
+timeouts, or retries because Myrinet never drops or damages packets — is
+only testable if the substrate *can* misbehave on demand.  This package
+provides that: a :class:`~repro.faults.plan.FaultPlan` (seedable, pure
+data) schedules episodes of link corruption bursts, outright packet loss,
+NIC firmware stalls, and slow/jittery host CPUs, and a
+:class:`~repro.faults.injector.FaultInjector` interprets it through
+``is None``-guarded hooks in the hardware models — the same zero-cost-
+when-disabled pattern as ``Environment.obs``.
+
+Typical use::
+
+    from repro.faults import FaultPlan, LinkFault, NicStall
+
+    plan = FaultPlan(seed=7, episodes=(
+        LinkFault(link="link:h0->*", start_ns=1_000_000, end_ns=2_000_000,
+                  ber=1e-4),                      # a corruption burst
+        LinkFault(link="*", drop_rate=0.02),      # a lossy fabric
+        NicStall(node=1, extra_ns=5_000),         # a wounded firmware
+    ))
+    cluster = Cluster(2, machine=PPRO_FM2, fm_version=2)
+    injector = cluster.inject_faults(plan)
+    ...
+    injector.events      # the deterministic corruption/drop/stall trace
+"""
+
+from repro.faults.injector import CORRUPT, DROP, OK, FaultInjector
+from repro.faults.plan import (
+    FOREVER,
+    CpuSlow,
+    Episode,
+    FaultPlan,
+    LinkFault,
+    NicStall,
+)
+
+__all__ = [
+    "CORRUPT",
+    "CpuSlow",
+    "DROP",
+    "Episode",
+    "FOREVER",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkFault",
+    "NicStall",
+    "OK",
+]

@@ -39,9 +39,17 @@ class HostCpu:
 
     # -- core ------------------------------------------------------------------
     def execute(self, cost_ns: int) -> Generator:
-        """Hold the CPU for ``cost_ns`` nanoseconds."""
+        """Hold the CPU for ``cost_ns`` nanoseconds.
+
+        With a fault injector attached (``env.faults``), an active CpuSlow
+        episode scales and jitters the charged cost — a slow or noisy host
+        — before the CPU is held.
+        """
         if cost_ns < 0:
             raise ValueError(f"negative CPU cost: {cost_ns}")
+        faults = self.env.faults
+        if faults is not None:
+            cost_ns = faults.cpu_cost(self.name, cost_ns)
         with self.lock.request() as req:
             yield req
             yield self.env.timeout(cost_ns)

@@ -6,12 +6,23 @@ propagation delay of hop ``i`` overlaps the serialisation of packet ``i+1``
 (cut-through at packet granularity).  The downstream input buffer is a
 bounded store: when it fills, delivery blocks, the in-flight window fills,
 and the serialiser stalls — the packet-granular analogue of Myrinet's
-byte-granular STOP/GO back-pressure.  **Links never drop packets**; this is
-the property FM's reliability layering relies on (§3.1 of the paper).
+byte-granular STOP/GO back-pressure.  **Links never drop packets** by
+default; this is the property FM's reliability layering relies on (§3.1 of
+the paper).
 
-Optional fault injection: a deterministic per-link RNG corrupts packets with
-probability ``1-(1-ber)^bits`` and sets the CORRUPT flag; the FM layers'
-behaviour under corruption is exercised by the fault-injection tests.
+Optional fault injection, two ways:
+
+* **static** — ``LinkParams.bit_error_rate`` corrupts packets with
+  probability ``1-(1-ber)^bits`` (sets the CORRUPT flag) and
+  ``LinkParams.drop_rate`` discards them outright, both from a
+  deterministic per-link RNG;
+* **planned** — an attached :class:`repro.faults.FaultInjector`
+  (``env.faults``) is consulted per packet and can corrupt or drop within
+  scheduled episode windows, drawing from its own per-link streams.
+
+The FM layers' behaviour under corruption (fail loudly) and the software
+reliability shim's behaviour under both (recover) are exercised by the
+fault-injection and resilience tests.
 """
 
 from __future__ import annotations
@@ -47,6 +58,7 @@ class Link:
         self.packets: int = 0
         self.bytes: int = 0
         self.corrupted: int = 0
+        self.dropped: int = 0
         # Deterministic per-link RNG; only consulted when error injection is on.
         self._rng = np.random.default_rng(zlib.crc32(name.encode()) & 0xFFFFFFFF)
 
@@ -77,7 +89,7 @@ class Link:
             t0 = self.env.now
             yield self.env.timeout(self.wire_time(packet))
             packet.stamp(f"{self.name}.wire", self.env.now)
-            self._maybe_corrupt(packet)
+            dropped = self._apply_faults(packet)
             self.packets += 1
             self.bytes += packet.wire_bytes
             if obs is not None:
@@ -86,6 +98,11 @@ class Link:
                          bytes=packet.wire_bytes)
                 obs.metrics.meter("link.bytes", link=self.name).mark(
                     packet.wire_bytes)
+            if dropped:
+                # Lossy-link mode: the packet burned wire time but never
+                # arrives.  Downstream sees nothing — detection (if any) is
+                # an upper-layer protocol's job, exactly as on a real wire.
+                continue
             # Tag with earliest possible arrival so propagation pipelines.
             yield self._flight.put((packet, self.env.now + self.params.propagation_ns))
 
@@ -98,15 +115,42 @@ class Link:
             yield self._target.put(packet)
 
     # -- fault injection ------------------------------------------------------
-    def _maybe_corrupt(self, packet: Packet) -> None:
-        ber = self.params.bit_error_rate
-        if ber <= 0.0:
-            return
-        bits = packet.wire_bytes * 8
-        p_error = 1.0 - (1.0 - ber) ** bits
-        if self._rng.random() < p_error:
-            packet.header.flags |= PacketFlags.CORRUPT
-            self.corrupted += 1
+    def _apply_faults(self, packet: Packet) -> bool:
+        """Static error model plus any planned episodes; True = drop.
+
+        The static draws come from the link's own RNG (and are only made
+        when the corresponding rate is nonzero, so enabling one mode never
+        shifts the other's stream); planned episodes draw from the
+        injector's per-link streams.
+        """
+        params = self.params
+        dropped = False
+        if params.drop_rate > 0.0 and self._rng.random() < params.drop_rate:
+            dropped = True
+        if params.bit_error_rate > 0.0 and not dropped:
+            bits = packet.wire_bytes * 8
+            p_error = 1.0 - (1.0 - params.bit_error_rate) ** bits
+            if self._rng.random() < p_error:
+                packet.header.flags |= PacketFlags.CORRUPT
+                self.corrupted += 1
+        faults = self.env.faults
+        if faults is not None and not dropped:
+            fate = faults.link_fate(self.name, packet)
+            if fate == "drop":
+                dropped = True
+            elif fate == "corrupt":
+                if not packet.header.flags & PacketFlags.CORRUPT:
+                    self.corrupted += 1
+                packet.header.flags |= PacketFlags.CORRUPT
+        if dropped:
+            self.dropped += 1
+            obs = self.env.obs
+            if obs is not None:
+                obs.span("fault", "link_drop", self.env.now,
+                         track=f"fabric/{self.name}", src=packet.header.src,
+                         dest=packet.header.dest, seq=packet.header.seq)
+        return dropped
 
     def __repr__(self) -> str:
-        return f"<Link {self.name!r} packets={self.packets} bytes={self.bytes}>"
+        return (f"<Link {self.name!r} packets={self.packets} "
+                f"bytes={self.bytes} dropped={self.dropped}>")

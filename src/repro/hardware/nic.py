@@ -14,6 +14,9 @@ host CPU) and staging SRAM in both directions:
   and posted to a host-visible credit mailbox without consuming receive
   region slots — mirroring how real FM's LANai control program handles flow
   control autonomously so that credits can never be blocked behind data.
+  A corrupt control packet (fault injection only) is dropped and counted
+  (``corrupt_control_packets``), never absorbed: crediting from a damaged
+  count would silently corrupt the sender's flow-control ledger.
 
 Every bounded store in the chain back-pressures: a receiver that stops
 extracting eventually stalls the sender's PIO, never dropping a packet.
@@ -66,6 +69,7 @@ class Nic:
         self.sent_packets: int = 0
         self.received_packets: int = 0
         self.control_packets: int = 0
+        self.corrupt_control_packets: int = 0
 
     # -- wiring ------------------------------------------------------------
     def connect_tx(self, link: Link) -> None:
@@ -107,6 +111,11 @@ class Nic:
             obs = self.env.obs
             t0 = self.env.now
             yield self.env.timeout(self.params.firmware_send_ns)
+            faults = self.env.faults
+            if faults is not None:
+                stall = faults.nic_stall_ns(self.node_id, self.name, "tx")
+                if stall:
+                    yield self.env.timeout(stall)
             self.sent_packets += 1
             packet.stamp(f"{self.name}.inject", self.env.now)
             if obs is not None:
@@ -122,7 +131,25 @@ class Nic:
             obs = self.env.obs
             t0 = self.env.now
             yield self.env.timeout(self.params.firmware_recv_ns)
+            faults = self.env.faults
+            if faults is not None:
+                stall = faults.nic_stall_ns(self.node_id, self.name, "rx")
+                if stall:
+                    yield self.env.timeout(stall)
             if packet.header.is_control:
+                if not packet.crc_ok():
+                    # A damaged credit return must be discarded, not
+                    # absorbed: its count is untrustworthy, and crediting
+                    # from it would silently skew the sender's ledger.
+                    # Credits it carried are lost — FM's flow control has
+                    # no recovery for that, by design (§3.1).
+                    self.corrupt_control_packets += 1
+                    if obs is not None:
+                        obs.span("nic", "corrupt_control_drop", t0,
+                                 track=f"node{self.node_id}/nic.rx",
+                                 src=packet.header.src,
+                                 credits=packet.header.credit_return)
+                    continue
                 # Credit return: update the mailbox, consume no host slot.
                 peer = packet.header.src
                 self.credit_mailbox[peer] = (
@@ -149,4 +176,5 @@ class Nic:
 
     def __repr__(self) -> str:
         return (f"<Nic {self.name!r} sent={self.sent_packets} "
-                f"recv={self.received_packets} ctrl={self.control_packets}>")
+                f"recv={self.received_packets} ctrl={self.control_packets} "
+                f"corrupt_ctrl={self.corrupt_control_packets}>")

@@ -49,7 +49,7 @@ class Environment:
     """
 
     __slots__ = ("_now", "_heap", "_imm", "_seq", "_active_process",
-                 "_active_processes", "trace", "last_key", "obs")
+                 "_active_processes", "trace", "last_key", "obs", "faults")
 
     def __init__(self, initial_time: int = 0):
         if not isinstance(initial_time, int) or initial_time < 0:
@@ -78,6 +78,11 @@ class Environment:
         #: observer itself never consumes simulated time, so results are
         #: bit-identical with it on or off.
         self.obs: Optional[Any] = None
+        #: Optional :class:`repro.faults.injector.FaultInjector`; hardware
+        #: models consult it at their fault points.  ``None`` (the default)
+        #: disables injection at the cost of one ``is None`` test per site;
+        #: an injector with an *empty* plan is also bit-identical to none.
+        self.faults: Optional[Any] = None
 
     # -- clock ---------------------------------------------------------------
     @property

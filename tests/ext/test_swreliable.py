@@ -8,8 +8,10 @@ from repro.configs import PPRO_FM2
 from repro.ext import SwRelParams, SwReliablePair
 
 
-def run_transfer(payloads, ber=0.0, params=None):
-    machine = PPRO_FM2.with_link(bit_error_rate=ber) if ber else PPRO_FM2
+def run_transfer(payloads, ber=0.0, drop_rate=0.0, params=None):
+    machine = PPRO_FM2
+    if ber or drop_rate:
+        machine = PPRO_FM2.with_link(bit_error_rate=ber, drop_rate=drop_rate)
     cluster = Cluster(2, machine=machine, fm_version=2)
     pair = SwReliablePair(cluster, 0, 1, params=params)
     got = []
@@ -125,6 +127,71 @@ class TestLossyNetwork:
 
         with pytest.raises(FmCorruptionError):
             cluster.run([sender, receiver], until_ns=10_000_000_000)
+
+
+class TestResilienceRegressions:
+    def test_long_transfer_survives_tight_give_up_under_sustained_ber(self):
+        """Regression: the give-up clock must reset whenever the window
+        advances.  A transfer whose *total* duration far exceeds
+        ``give_up_ns`` completes as long as ACK progress keeps arriving —
+        only a genuinely stuck channel may trip the bound."""
+        params = SwRelParams(give_up_ns=1_500_000)
+        payloads = [bytes((i * 13) % 256 for i in range(100_000))]
+        got, pair, cluster = run_transfer(payloads, ber=1e-4, params=params)
+        assert got == payloads
+        assert pair.retransmissions > 0           # the loss was real
+        assert cluster.now > params.give_up_ns    # total >> bound, still done
+        assert pair.max_progress_gap_ns < params.give_up_ns
+
+    def test_dead_channel_raises_instead_of_spinning(self):
+        """Regression: both the window-wait loop in send_message and drain
+        are bounded — a channel that drops everything raises instead of
+        burning simulated time forever."""
+        machine = PPRO_FM2.with_link(drop_rate=1.0)
+        cluster = Cluster(2, machine=machine, fm_version=2)
+        params = SwRelParams(give_up_ns=3_000_000)
+        pair = SwReliablePair(cluster, 0, 1, params=params)
+        failure = []
+
+        def sender(node):
+            try:
+                yield from pair.send_message(b"x" * 2000)
+            except RuntimeError as err:
+                failure.append(err)
+
+        cluster.run([sender, None])
+        assert failure, "sender never gave up on a dead channel"
+        assert "gave up" in str(failure[0])
+        assert pair.timeouts >= 2
+        # Exponential backoff kicked in while the channel stayed silent.
+        assert pair.rto_ns > params.rto_ns
+
+    def test_adaptive_rto_tracks_the_measured_rtt(self):
+        payloads = [bytes(1500) for _ in range(8)]
+        _got, pair, _cluster = run_transfer(payloads)
+        stats = pair.stats()
+        assert stats["srtt_ns"] > 0
+        assert stats["acks_received"] > 0
+        assert stats["retransmissions"] == 0
+        assert stats["wasted_fraction"] == 0.0
+        assert stats["delivered_bytes"] == sum(len(p) for p in payloads)
+        assert pair.params.min_rto_ns <= stats["rto_ns"] <= pair.params.max_rto_ns
+
+    def test_fast_retransmit_fires_on_duplicate_acks(self):
+        payloads = [bytes((i * 31 + j) % 256 for j in range(6000))
+                    for i in range(6)]
+        got, pair, _cluster = run_transfer(payloads, drop_rate=0.08)
+        assert got == payloads
+        assert pair.fast_retransmits > 0
+        stats = pair.stats()
+        assert stats["retransmitted_wire_bytes"] > 0
+        assert 0.0 < stats["wasted_fraction"] < 1.0
+
+    def test_drop_mode_delivers_exactly(self):
+        payloads = [bytes([i]) * 1800 for i in range(10)]
+        got, pair, _cluster = run_transfer(payloads, drop_rate=0.05)
+        assert got == payloads
+        assert pair.retransmissions > 0
 
 
 @settings(max_examples=6, deadline=None,

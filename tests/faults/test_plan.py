@@ -1,0 +1,104 @@
+"""Fault plans: validation, matching, and stream determinism."""
+
+import pytest
+
+from repro.faults import (
+    FOREVER,
+    CpuSlow,
+    FaultInjector,
+    FaultPlan,
+    LinkFault,
+    NicStall,
+)
+
+
+class TestEpisodeValidation:
+    def test_link_fault_needs_a_rate(self):
+        with pytest.raises(ValueError, match="ber > 0 or drop_rate"):
+            LinkFault()
+        with pytest.raises(ValueError, match="ber"):
+            LinkFault(ber=1.0)
+        with pytest.raises(ValueError, match="drop_rate"):
+            LinkFault(drop_rate=1.5)
+        LinkFault(drop_rate=1.0)      # a dead link is a valid episode
+
+    def test_windows_must_be_nonempty(self):
+        with pytest.raises(ValueError, match="window"):
+            LinkFault(ber=1e-4, start_ns=100, end_ns=100)
+        with pytest.raises(ValueError, match="start_ns"):
+            NicStall(extra_ns=10, start_ns=-1)
+
+    def test_nic_stall_validation(self):
+        with pytest.raises(ValueError, match="extra_ns"):
+            NicStall(extra_ns=0)
+        with pytest.raises(ValueError, match="side"):
+            NicStall(extra_ns=10, side="sideways")
+
+    def test_cpu_slow_validation(self):
+        with pytest.raises(ValueError, match="factor"):
+            CpuSlow(factor=0.5)
+        with pytest.raises(ValueError, match="factor > 1 or jitter"):
+            CpuSlow()
+
+    def test_plan_rejects_non_episodes(self):
+        with pytest.raises(TypeError, match="not a fault episode"):
+            FaultPlan(episodes=("corrupt everything",))
+        with pytest.raises(ValueError, match="seed"):
+            FaultPlan(seed=-1)
+
+
+class TestMatching:
+    def test_link_pattern(self):
+        burst = LinkFault(link="link:h0->*", ber=1e-4)
+        assert burst.matches("link:h0->s0")
+        assert not burst.matches("link:s0->h0")
+        assert LinkFault(link="*", drop_rate=0.1).matches("link:s0->h1")
+
+    def test_windows(self):
+        burst = LinkFault(ber=1e-4, start_ns=100, end_ns=200)
+        assert not burst.active(99)
+        assert burst.active(100)
+        assert burst.active(199)
+        assert not burst.active(200)
+        assert LinkFault(ber=1e-4).active(FOREVER - 1)
+
+    def test_nic_and_cpu_selectors(self):
+        stall = NicStall(node=1, extra_ns=10, side="rx")
+        assert stall.matches(1, "rx")
+        assert not stall.matches(1, "tx")
+        assert not stall.matches(0, "rx")
+        assert NicStall(extra_ns=10).matches(7, "tx")   # node=None = all
+        assert CpuSlow(factor=2.0).matches(3)
+        assert not CpuSlow(node=2, factor=2.0).matches(3)
+
+    def test_plan_partitions_by_kind(self):
+        plan = FaultPlan(seed=1, episodes=(
+            LinkFault(ber=1e-4), NicStall(extra_ns=5), CpuSlow(factor=2.0)))
+        assert len(plan.link_faults) == 1
+        assert len(plan.nic_stalls) == 1
+        assert len(plan.cpu_slows) == 1
+        assert len(plan) == 3
+
+
+class TestStreams:
+    def test_same_seed_same_stream(self):
+        a = FaultInjector(FaultPlan(seed=42))
+        b = FaultInjector(FaultPlan(seed=42))
+        assert [a.rng("link:x").random() for _ in range(5)] == \
+            [b.rng("link:x").random() for _ in range(5)]
+
+    def test_streams_are_independent_per_component(self):
+        inj = FaultInjector(FaultPlan(seed=42))
+        first = [inj.rng("link:x").random() for _ in range(5)]
+        # Interleaving draws on another component must not shift link:x.
+        other = FaultInjector(FaultPlan(seed=42))
+        mixed = []
+        for _ in range(5):
+            other.rng("cpu:cpu0").random()
+            mixed.append(other.rng("link:x").random())
+        assert first == mixed
+
+    def test_different_seeds_differ(self):
+        a = FaultInjector(FaultPlan(seed=1))
+        b = FaultInjector(FaultPlan(seed=2))
+        assert a.rng("link:x").random() != b.rng("link:x").random()

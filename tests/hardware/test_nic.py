@@ -126,6 +126,25 @@ class TestReceivePath:
         assert nic.take_credits(0) == 5
         assert nic.take_credits(0) == 0   # drained
 
+    def test_corrupt_control_packet_dropped_not_absorbed(self, env):
+        """Regression: a fault-marked credit return must never reach the
+        mailbox — absorbing a damaged credit count would silently skew the
+        sender's flow-control ledger."""
+        nic, _sink = build_nic(env)
+        def network():
+            yield nic.rx_sram.put(make_packet(
+                flags=PacketFlags.CONTROL, credit=5, payload=b""))
+            corrupt = make_packet(
+                flags=PacketFlags.CONTROL | PacketFlags.CORRUPT,
+                credit=8, payload=b"")
+            yield nic.rx_sram.put(corrupt)
+        env.process(network())
+        env.run()
+        assert nic.recv_region.level == 0
+        assert nic.control_packets == 1
+        assert nic.corrupt_control_packets == 1
+        assert nic.take_credits(0) == 5   # only the clean return counted
+
     def test_credits_accumulate(self, env):
         nic, _sink = build_nic(env)
         def network():

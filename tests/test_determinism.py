@@ -17,12 +17,19 @@ from repro.upper.mpi import build_mpi_world
 from repro.upper.sockets import SocketStack
 
 
-def mixed_workload_trace(observe: bool = False):
-    """Run a nontrivial 4-node workload and return its full trace."""
+def mixed_workload_trace(observe: bool = False, fault_plan=None):
+    """Run a nontrivial 4-node workload and return its full trace.
+
+    ``fault_plan`` attaches a :class:`repro.faults.FaultInjector`; the
+    injector's fault trace rides back in ``outputs["fault_events"]`` so the
+    existing output comparisons also pin fault-trace determinism.
+    """
     cluster = Cluster(4, machine=PPRO_FM2, fm_version=2)
     tracer = Tracer().attach(cluster.env)
     if observe:
         cluster.observe()
+    injector = (cluster.inject_faults(fault_plan)
+                if fault_plan is not None else None)
     comms = build_mpi_world(cluster)
     outputs = {}
 
@@ -43,6 +50,8 @@ def mixed_workload_trace(observe: bool = False):
         return program
 
     cluster.run([make(rank) for rank in range(4)])
+    if injector is not None:
+        outputs["fault_events"] = tuple(injector.events)
     return tracer, outputs, cluster.now
 
 
@@ -147,6 +156,41 @@ class TestDeterminism:
         assert off_out == on_out
         assert [tuple(r) for r in off_trace.records] == \
             [tuple(r) for r in on_trace.records]
+
+    def test_empty_fault_plan_bit_identical_to_no_injector(self):
+        """An attached injector whose plan has no episodes must make no
+        draws and schedule no events: bit-identical to running without one."""
+        from repro.faults import FaultPlan
+
+        base_trace, base_out, base_now = mixed_workload_trace()
+        inj_trace, inj_out, inj_now = mixed_workload_trace(
+            fault_plan=FaultPlan())
+        assert inj_out.pop("fault_events") == ()
+        assert base_now == inj_now
+        assert base_out == inj_out
+        assert [tuple(r) for r in base_trace.records] == \
+            [tuple(r) for r in inj_trace.records]
+
+    def test_fault_plan_bit_identical_across_runs(self):
+        """Identical seeds and fault plans produce identical event
+        histories, outputs, and injected fault traces — and the faults do
+        perturb the run relative to the clean baseline."""
+        from repro.faults import CpuSlow, FaultPlan, NicStall
+
+        plan = FaultPlan(seed=11, episodes=(
+            CpuSlow(factor=1.5, jitter_ns=200),
+            NicStall(extra_ns=300, start_ns=50_000, end_ns=500_000),
+        ))
+        first_trace, first_out, first_now = mixed_workload_trace(
+            fault_plan=plan)
+        second_trace, second_out, second_now = mixed_workload_trace(
+            fault_plan=plan)
+        assert first_now == second_now
+        assert first_out == second_out          # includes the fault trace
+        assert [tuple(r) for r in first_trace.records] == \
+            [tuple(r) for r in second_trace.records]
+        _bt, _bo, base_now = mixed_workload_trace()
+        assert first_now > base_now             # the episodes really bit
 
     def test_observed_trace_export_byte_identical(self):
         """Two observed runs export byte-identical Perfetto JSON."""
