@@ -65,6 +65,9 @@ class Nic:
         self.recv_dma = DmaEngine(env, bus, name=f"{self.name}.rxdma")
         #: Host-visible credit mailbox: peer node id -> credits returned.
         self.credit_mailbox: dict[int, int] = {}
+        #: Processes sleeping until the next receive-region deposit (see
+        #: :meth:`rx_wakeup`); flushed by the rx firmware after each put.
+        self._rx_waiters: list = []
         self._started = False
         self.sent_packets: int = 0
         self.received_packets: int = 0
@@ -102,6 +105,22 @@ class Nic:
         if credits:
             self.credit_mailbox[peer] = 0
         return credits
+
+    def rx_wakeup(self):
+        """An event triggered at the next data-packet deposit into the host
+        receive region.
+
+        Upper layers that would otherwise poll ``FM_extract`` on a fixed
+        backoff (sockets, RPC loops) wait on this instead: the process
+        sleeps until the rx firmware actually lands a packet, consuming no
+        simulated time spinning.  Every waiter registered at deposit time is
+        woken (deposits are rare relative to waits, and each waiter
+        re-checks its own condition before sleeping again), so the event is
+        one-shot: re-register before every wait.
+        """
+        event = self.env.event()
+        self._rx_waiters.append(event)
+        return event
 
     # -- firmware loops -----------------------------------------------------------
     def _tx_firmware(self):
@@ -173,6 +192,10 @@ class Nic:
                                       nic=self.name).record(
                     self.recv_region.level)
             yield self.recv_region.put(packet)
+            if self._rx_waiters:
+                waiters, self._rx_waiters = self._rx_waiters, []
+                for event in waiters:
+                    event.succeed()
 
     def __repr__(self) -> str:
         return (f"<Nic {self.name!r} sent={self.sent_packets} "

@@ -32,7 +32,10 @@ KIND_FIN = 4
 
 #: Maximum payload of one socket segment (one FM message).
 SEGMENT_BYTES = 4096
-IDLE_BACKOFF_NS = 400
+#: Safety cap on one event-based idle wait (see ``SocketStack.idle_wait``):
+#: a waiter missing its wakeup (another process extracted its data with no
+#: new NIC deposit) re-checks at least this often.
+IDLE_WAIT_CAP_NS = 20_000
 
 
 class SocketError(Exception):
@@ -86,7 +89,6 @@ class Socket:
             raise SocketError(f"recv size must be positive, got {nbytes}")
         self._check_established()
         waited_t0 = self.stack.env.now
-        waited = 0
         while self.rx_bytes == 0:
             if self.fin_received:
                 return b""
@@ -94,10 +96,8 @@ class Socket:
             budget = max(nbytes + HEADER_BYTES, 256)
             advanced = yield from self.stack.progress(budget)
             if not advanced:
-                yield self.stack.env.timeout(IDLE_BACKOFF_NS)
-                waited += IDLE_BACKOFF_NS
-                if waited > self.stack.fm.params.stall_limit_ns:
-                    raise SocketError("recv stalled: peer gone?")
+                yield from self.stack.idle_wait(waited_t0,
+                                                "recv stalled: peer gone?")
         out = bytearray()
         while self.rx_chunks and len(out) < nbytes:
             chunk = self.rx_chunks.popleft()
@@ -144,7 +144,7 @@ class Socket:
             return nbytes
         self.posted = (buf, offset + pre, nbytes - pre)
         self.posted_filled = 0
-        waited = 0
+        waited_t0 = self.stack.env.now
         try:
             while self.posted_filled < nbytes - pre:
                 if self.fin_received:
@@ -155,10 +155,8 @@ class Socket:
                 budget = max(nbytes - pre - self.posted_filled + HEADER_BYTES, 256)
                 advanced = yield from self.stack.progress(budget)
                 if not advanced:
-                    yield self.stack.env.timeout(IDLE_BACKOFF_NS)
-                    waited += IDLE_BACKOFF_NS
-                    if waited > self.stack.fm.params.stall_limit_ns:
-                        raise SocketError("recv_into stalled: peer gone?")
+                    yield from self.stack.idle_wait(
+                        waited_t0, "recv_into stalled: peer gone?")
         finally:
             self.posted = None
             self.posted_filled = 0
@@ -221,14 +219,11 @@ class SocketStack:
         """Block until an incoming connection is established; return it."""
         if not self._listening:
             raise SocketError("accept() before listen()")
-        waited = 0
+        waited_t0 = self.env.now
         while not self._accept_queue:
             advanced = yield from self.progress(SEGMENT_BYTES)
             if not advanced:
-                yield self.env.timeout(IDLE_BACKOFF_NS)
-                waited += IDLE_BACKOFF_NS
-                if waited > self.fm.params.stall_limit_ns:
-                    raise SocketError("accept() timed out")
+                yield from self.idle_wait(waited_t0, "accept() timed out")
         return self._accept_queue.popleft()
 
     def connect(self, peer_node: int) -> Generator:
@@ -238,15 +233,31 @@ class SocketStack:
         # SYN carries my conn id; peer replies with theirs.
         payload = struct.pack("<i", sock.conn_id)
         yield from self._send_raw(peer_node, 0, KIND_SYN, payload)
-        waited = 0
+        waited_t0 = self.env.now
         while not sock.established:
             advanced = yield from self.progress(SEGMENT_BYTES)
             if not advanced:
-                yield self.env.timeout(IDLE_BACKOFF_NS)
-                waited += IDLE_BACKOFF_NS
-                if waited > self.fm.params.stall_limit_ns:
-                    raise SocketError(f"connect to node {peer_node} timed out")
+                yield from self.idle_wait(
+                    waited_t0, f"connect to node {peer_node} timed out")
         return sock
+
+    # -- idle waiting ----------------------------------------------------------
+    def idle_wait(self, waited_t0: int, stall_message: str) -> Generator:
+        """Sleep until the NIC lands new data (event wakeup, not polling).
+
+        Replaces the old fixed-backoff poll loop: the waiting process
+        registers for the NIC's next receive-region deposit and wakes the
+        instant there is something to extract, instead of burning simulated
+        time re-polling an empty region every 400 ns.  A capped timeout
+        (:data:`IDLE_WAIT_CAP_NS`) guards the rare missed-wakeup case
+        (another process on this node extracted our data with no new
+        deposit), and a total wait beyond the FM stall limit — measured
+        from ``waited_t0`` — still fails loudly with ``stall_message``.
+        """
+        if self.env.now - waited_t0 > self.fm.params.stall_limit_ns:
+            raise SocketError(stall_message)
+        yield self.env.any_of([self.node.nic.rx_wakeup(),
+                               self.env.timeout(IDLE_WAIT_CAP_NS)])
 
     # -- progress --------------------------------------------------------------
     def progress(self, budget: int) -> Generator:

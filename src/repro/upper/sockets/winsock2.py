@@ -32,8 +32,6 @@ from repro.upper.sockets.socket_fm import Socket, SocketError, SocketStack
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.node import Node
 
-IDLE_BACKOFF_NS = 400
-
 
 class Overlapped:
     """A pending asynchronous operation (the WSAOVERLAPPED analogue)."""
@@ -172,14 +170,12 @@ class Wsa:
     def get_overlapped_result(self, operation: Overlapped) -> Generator:
         """Block (pumping) until ``operation`` completes; returns bytes
         transferred (WSAGetOverlappedResult with fWait=TRUE)."""
-        waited = 0
+        waited_t0 = self.env.now
         while not operation.complete:
             advanced = yield from self.pump()
             if not advanced:
-                yield self.env.timeout(IDLE_BACKOFF_NS)
-                waited += IDLE_BACKOFF_NS
-                if waited > self.stack.fm.params.stall_limit_ns:
-                    raise SocketError(f"overlapped {operation!r} stalled")
+                yield from self.stack.idle_wait(
+                    waited_t0, f"overlapped {operation!r} stalled")
         if operation.error:
             raise SocketError(operation.error)
         return operation.transferred
@@ -188,17 +184,14 @@ class Wsa:
         """Block until any of ``operations`` completes; returns its index."""
         if not operations:
             raise SocketError("wait_any needs at least one operation")
-        waited = 0
+        waited_t0 = self.env.now
         while True:
             for index, operation in enumerate(operations):
                 if operation.complete:
                     return index
             advanced = yield from self.pump()
             if not advanced:
-                yield self.env.timeout(IDLE_BACKOFF_NS)
-                waited += IDLE_BACKOFF_NS
-                if waited > self.stack.fm.params.stall_limit_ns:
-                    raise SocketError("wait_any stalled")
+                yield from self.stack.idle_wait(waited_t0, "wait_any stalled")
 
     def __repr__(self) -> str:
         return f"<Wsa node={self.stack.node.node_id} pending={len(self._pending)}>"

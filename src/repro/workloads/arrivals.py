@@ -1,0 +1,149 @@
+"""Seedable arrival processes: when does each client issue its next request?
+
+An arrival spec is pure data (a frozen dataclass, like
+:class:`repro.faults.plan.FaultPlan`); :func:`gap_stream` interprets it as
+an infinite iterator of integer nanosecond *gaps*.  Open-loop specs space
+request issue times; closed-loop specs space think times between a response
+and the next request.
+
+Determinism contract (mirrors ``repro/faults``): every random draw comes
+from a per-client stream derived from ``(seed, client name)`` — never from
+wall clock or a shared cursor — so identical scenario specs yield identical
+traffic, and adding a client never shifts another client's draws.
+
+* :class:`OpenLoop` — open-loop Poisson (or fixed-interval) arrivals at
+  ``rate_rps`` requests/second.  Requests are issued on schedule whether or
+  not earlier ones have completed: offered load is independent of service
+  capacity, which is what exposes the load-latency saturation knee.
+* :class:`ClosedLoop` — each client waits for its response, then thinks for
+  ``think_ns`` (exponentially distributed around that mean, or fixed).
+  Offered load self-limits to service capacity.
+* :class:`Bursty` — on/off modulated Poisson: ``on_ns`` of arrivals at
+  ``rate_rps`` followed by ``off_ns`` of silence, repeating.  The incast
+  and burst-absorption scenarios use it.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+import numpy as np
+
+
+def client_rng(seed: int, client: str) -> np.random.Generator:
+    """The deterministic RNG stream for one client of one scenario."""
+    return np.random.default_rng((seed, zlib.crc32(client.encode())))
+
+
+@dataclass(frozen=True)
+class OpenLoop:
+    """Open-loop arrivals at ``rate_rps`` requests/second per client.
+
+    ``poisson=True`` draws exponential inter-arrival gaps (a Poisson
+    process); ``False`` issues on a fixed interval — useful when a sweep
+    wants offered load exact rather than averaged.
+    """
+
+    rate_rps: float
+    poisson: bool = True
+
+    def __post_init__(self) -> None:
+        if self.rate_rps <= 0:
+            raise ValueError(f"rate_rps must be positive, got {self.rate_rps}")
+
+    @property
+    def mean_gap_ns(self) -> float:
+        return 1e9 / self.rate_rps
+
+
+@dataclass(frozen=True)
+class ClosedLoop:
+    """Closed-loop think times with mean ``think_ns`` per client.
+
+    ``exponential=True`` draws exponential think times (memoryless users);
+    ``False`` thinks for exactly ``think_ns``.  ``think_ns=0`` is the
+    back-to-back case: the next request leaves the instant the response
+    lands.
+    """
+
+    think_ns: int = 0
+    exponential: bool = False
+
+    def __post_init__(self) -> None:
+        if self.think_ns < 0:
+            raise ValueError(f"think_ns must be non-negative, got {self.think_ns}")
+        if self.exponential and self.think_ns == 0:
+            raise ValueError("exponential think needs think_ns > 0")
+
+
+@dataclass(frozen=True)
+class Bursty:
+    """On/off modulated Poisson: ``rate_rps`` for ``on_ns``, silent for
+    ``off_ns``, repeating.  The first request of each burst arrives at the
+    burst start."""
+
+    rate_rps: float
+    on_ns: int
+    off_ns: int
+
+    def __post_init__(self) -> None:
+        if self.rate_rps <= 0:
+            raise ValueError(f"rate_rps must be positive, got {self.rate_rps}")
+        if self.on_ns <= 0:
+            raise ValueError(f"on_ns must be positive, got {self.on_ns}")
+        if self.off_ns < 0:
+            raise ValueError(f"off_ns must be non-negative, got {self.off_ns}")
+
+
+ArrivalSpec = Union[OpenLoop, ClosedLoop, Bursty]
+
+
+def _open_loop_gaps(spec: OpenLoop, rng: np.random.Generator) -> Iterator[int]:
+    mean = spec.mean_gap_ns
+    if not spec.poisson:
+        gap = max(1, round(mean))
+        while True:
+            yield gap
+    while True:
+        yield max(1, round(rng.exponential(mean)))
+
+
+def _closed_loop_gaps(spec: ClosedLoop, rng: np.random.Generator) -> Iterator[int]:
+    if not spec.exponential:
+        while True:
+            yield spec.think_ns
+    while True:
+        yield max(1, round(rng.exponential(spec.think_ns)))
+
+
+def _bursty_gaps(spec: Bursty, rng: np.random.Generator) -> Iterator[int]:
+    mean = 1e9 / spec.rate_rps
+    # Position within the current on-window; gaps that cross its end are
+    # deferred past the off-window to the start of the next burst.
+    at = 0
+    while True:
+        gap = max(1, round(rng.exponential(mean)))
+        if at + gap < spec.on_ns:
+            at += gap
+            yield gap
+        else:
+            yield (spec.on_ns - at) + spec.off_ns
+            at = 0
+
+
+def gap_stream(spec: ArrivalSpec, seed: int, client: str) -> Iterator[int]:
+    """An infinite iterator of nanosecond gaps for one client.
+
+    The stream is a pure function of ``(spec, seed, client)``; two calls
+    with the same arguments yield identical sequences.
+    """
+    rng = client_rng(seed, client)
+    if isinstance(spec, OpenLoop):
+        return _open_loop_gaps(spec, rng)
+    if isinstance(spec, ClosedLoop):
+        return _closed_loop_gaps(spec, rng)
+    if isinstance(spec, Bursty):
+        return _bursty_gaps(spec, rng)
+    raise TypeError(f"not an arrival spec: {spec!r}")

@@ -1,0 +1,418 @@
+"""Request/response RPC over raw Fast Messages (1.x or 2.x).
+
+The service pattern the paper's §5 measurements imply but never spell out:
+a server node runs a bounded request queue and a pool of worker loops; each
+client issues fixed-size requests under an arrival process
+(:mod:`repro.workloads.arrivals`) and every request gets exactly one
+response — ``RPC_OK`` after service, or ``RPC_SHED`` / ``RPC_EXPIRED``
+when the overload policy dropped it.
+
+The two FM generations plug in behind one :class:`RpcEndpoint`, and their
+interface costs differ exactly as §3/§4 describe:
+
+* **FM 1.x** sends must be contiguous, so each request/response charges an
+  assembly copy (header + payload into one buffer) before ``FM_send``; and
+  handlers run *inside* extract, serialising delivery.
+* **FM 2.x** gathers header and payload with ``send_piece`` (no assembly
+  copy) and scatters on receive; handlers interleave as processes.
+
+Overload policy (the server's explicit backpressure story):
+
+* ``queue`` — the pump stops extracting while the bounded queue is full.
+  The receive region then fills, credit returns stop, and senders stall in
+  ``acquire_credit``: *FM's own flow control carries the backpressure all
+  the way to the client*, which is the paper's reliable-by-construction
+  alternative to dropping.
+* ``shed`` — the pump always extracts; a request arriving to a full queue
+  is answered immediately with ``RPC_SHED``.  Latency of accepted requests
+  stays bounded at the cost of goodput.
+* ``deadline`` — ``queue`` backpressure, plus workers discard requests
+  whose deadline passed while queued (``RPC_EXPIRED``) instead of doing
+  dead work.
+
+Idle paths never spin on a fixed backoff: pumps sleep on
+:meth:`~repro.hardware.nic.Nic.rx_wakeup` (capped by
+``IDLE_WAIT_CAP_NS``), the same event-based wakeup the sockets layer uses.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.hardware.memory import Buffer
+
+from repro.core.fm1.api import FM1
+
+from repro.simkernel.store import Store
+
+from repro.workloads.arrivals import ArrivalSpec, ClosedLoop, gap_stream
+from repro.workloads.stats import WorkloadStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.node import Node
+
+#: Response status codes.
+RPC_OK = 0
+RPC_SHED = 1
+RPC_EXPIRED = 2
+
+#: Request wire header: req_id, absolute deadline (ns, 0 = none),
+#: service demand (ns), payload length.
+REQ_HEADER = struct.Struct("<iqqi")
+#: Response wire header: req_id, status, payload length.
+RESP_HEADER = struct.Struct("<iii")
+
+#: Cap on event-based idle waits (see socket_fm.py for the rationale).
+IDLE_WAIT_CAP_NS = 20_000
+
+VALID_POLICIES = ("queue", "shed", "deadline")
+
+
+@dataclass
+class Request:
+    """One request as the server sees it (parsed off the wire)."""
+
+    req_id: int
+    src: int
+    deadline_ns: int
+    work_ns: int
+    payload_len: int
+    enq_ns: int
+
+
+class RpcEndpoint:
+    """One node's RPC attachment point over its FM endpoint.
+
+    Registers the request and response handlers (in that order — handler
+    ids index the receiver's table, so every participating node must build
+    its endpoint before any other handler registration, SPMD style) and
+    hides the FM 1.x / 2.x asymmetry behind ``send_request`` /
+    ``send_response`` / ``extract_some``.
+    """
+
+    def __init__(self, node: "Node", stats: WorkloadStats):
+        if node.fm is None:
+            raise RuntimeError(f"node {node.node_id} has no FM endpoint")
+        self.node = node
+        self.env = node.env
+        self.fm = node.fm
+        self.stats = stats
+        self.is_fm1 = isinstance(node.fm, FM1)
+        #: Client side: req_id -> (intended arrival ns, completion event).
+        self.pending: dict[int, tuple[int, object]] = {}
+        #: Server side: requests parsed by the handler, awaiting the pump.
+        self.inbox: deque[Request] = deque()
+        #: Responses that arrived after the client abandoned the request.
+        self.stale_responses = 0
+        self._next_req_id = 0
+        if self.is_fm1:
+            self.request_handler = self.fm.register_handler(self._request_fm1)
+            self.response_handler = self.fm.register_handler(self._response_fm1)
+        else:
+            self.request_handler = self.fm.register_handler(self._request_fm2)
+            self.response_handler = self.fm.register_handler(self._response_fm2)
+
+    # -- send side ---------------------------------------------------------
+    def send_request(self, server: int, work_ns: int, payload_len: int,
+                     deadline_ns: int = 0,
+                     t_intended: Optional[int] = None) -> Generator:
+        """Issue one request; returns ``(req_id, completion event)``.
+
+        The event fires with ``(status, response payload len)`` when the
+        response handler runs.  Latency is accounted against
+        ``t_intended`` (the arrival process's scheduled issue time), so
+        open-loop overload shows up as unbounded queueing delay rather
+        than a slowed clock.
+        """
+        req_id = self._next_req_id
+        self._next_req_id += 1
+        event = self.env.event()
+        self.pending[req_id] = (
+            self.env.now if t_intended is None else t_intended, event)
+        header = REQ_HEADER.pack(req_id, deadline_ns, work_ns, payload_len)
+        yield from self._send(server, self.request_handler, header, payload_len)
+        self.stats.note_sent(REQ_HEADER.size + payload_len)
+        return req_id, event
+
+    def send_response(self, dest: int, req_id: int, status: int,
+                      payload_len: int) -> Generator:
+        """Send a response for ``req_id`` back to ``dest`` with ``status``."""
+        header = RESP_HEADER.pack(req_id, status, payload_len)
+        yield from self._send(dest, self.response_handler, header, payload_len)
+
+    def _send(self, dest: int, handler_id: int, header: bytes,
+              payload_len: int) -> Generator:
+        total = len(header) + payload_len
+        if self.is_fm1:
+            # FM 1.x interface cost: the message must be contiguous, so
+            # header + payload are assembled into one buffer first (§3.2).
+            cpu = self.fm.cpu
+            yield from cpu.execute(cpu.memcpy_cost(total))
+            message = Buffer.from_bytes(header + bytes(payload_len),
+                                        name="rpc.assembled")
+            yield from self.fm.send(dest, handler_id, message, total)
+            return
+        # FM 2.x: gather the pieces straight through the API — no copy.
+        stream = yield from self.fm.begin_message(dest, total, handler_id)
+        head = Buffer.from_bytes(header, name="rpc.header")
+        yield from self.fm.send_piece(stream, head, 0, len(header))
+        if payload_len:
+            payload = Buffer(payload_len, name="rpc.payload")
+            yield from self.fm.send_piece(stream, payload, 0, payload_len)
+        yield from self.fm.end_message(stream)
+
+    # -- receive side -------------------------------------------------------
+    def extract_some(self, budget_bytes: Optional[int] = None) -> Generator:
+        """Run extract under a byte budget (FM 1.x: converted to packets)."""
+        if self.is_fm1:
+            max_packets = (None if budget_bytes is None
+                           else self.fm.params.packets_for(budget_bytes))
+            yield from self.fm.extract(max_packets)
+        else:
+            yield from self.fm.extract(budget_bytes)
+
+    def idle_wait(self) -> Generator:
+        """Sleep until the next receive-region deposit (capped)."""
+        yield self.env.any_of([self.node.nic.rx_wakeup(),
+                               self.env.timeout(IDLE_WAIT_CAP_NS)])
+
+    def abandon(self, req_id: int) -> None:
+        """Client gave up on ``req_id``; a late response becomes stale."""
+        if self.pending.pop(req_id, None) is not None:
+            self.stats.note_dropped("abandoned")
+
+    # -- handlers (SPMD-registered on every participating node) ------------------
+    def _request_fm1(self, fm, src, buffer, nbytes) -> Generator:
+        yield from fm.cpu.call()
+        req_id, deadline, work, plen = REQ_HEADER.unpack_from(
+            buffer.read(0, REQ_HEADER.size))
+        self.inbox.append(Request(req_id, src, deadline, work, plen,
+                                  self.env.now))
+
+    def _request_fm2(self, fm, stream, src) -> Generator:
+        head = yield from stream.receive_bytes(REQ_HEADER.size)
+        req_id, deadline, work, plen = REQ_HEADER.unpack(head)
+        if plen:
+            yield from stream.receive_bytes(plen)
+        self.inbox.append(Request(req_id, src, deadline, work, plen,
+                                  self.env.now))
+
+    def _response_fm1(self, fm, src, buffer, nbytes) -> Generator:
+        yield from fm.cpu.call()
+        req_id, status, plen = RESP_HEADER.unpack_from(
+            buffer.read(0, RESP_HEADER.size))
+        self._complete(req_id, status, plen)
+
+    def _response_fm2(self, fm, stream, src) -> Generator:
+        head = yield from stream.receive_bytes(RESP_HEADER.size)
+        req_id, status, plen = RESP_HEADER.unpack(head)
+        if plen:
+            yield from stream.receive_bytes(plen)
+        self._complete(req_id, status, plen)
+
+    def _complete(self, req_id: int, status: int, plen: int) -> None:
+        entry = self.pending.pop(req_id, None)
+        if entry is None:
+            self.stale_responses += 1
+            return
+        t_intended, event = entry
+        if status == RPC_OK:
+            self.stats.note_completed(self.env.now - t_intended,
+                                      RESP_HEADER.size + plen)
+        elif status == RPC_SHED:
+            self.stats.note_dropped("shed")
+        else:
+            self.stats.note_dropped("expired")
+        event.succeed((status, plen))
+
+    def __repr__(self) -> str:
+        return (f"<RpcEndpoint node={self.node.node_id} "
+                f"fm={'1' if self.is_fm1 else '2'} "
+                f"pending={len(self.pending)} inbox={len(self.inbox)}>")
+
+
+class RpcServer:
+    """Bounded-queue, multi-worker RPC service on one node.
+
+    ``start()`` spawns the pump and worker processes directly on the
+    environment (like NIC firmware — they run until the simulation stops,
+    so client programs define run termination).
+    """
+
+    def __init__(self, endpoint: RpcEndpoint, stats: WorkloadStats, *,
+                 workers: int = 2, queue_capacity: int = 16,
+                 policy: str = "queue", resp_bytes: int = 64,
+                 extract_budget: Optional[int] = None):
+        if policy not in VALID_POLICIES:
+            raise ValueError(f"policy must be one of {VALID_POLICIES}, "
+                             f"got {policy!r}")
+        if workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if queue_capacity < 1:
+            raise ValueError(f"queue_capacity must be positive, got {queue_capacity}")
+        self.endpoint = endpoint
+        self.env = endpoint.env
+        self.node = endpoint.node
+        self.stats = stats
+        self.workers = workers
+        self.policy = policy
+        self.resp_bytes = resp_bytes
+        self.extract_budget = extract_budget
+        self.queue: Store = Store(self.env, capacity=queue_capacity,
+                                  name=f"rpc.queue@{self.node.node_id}")
+        self.served = 0
+        self._started = False
+
+    def start(self) -> None:
+        """Spawn the extract pump and worker processes (idempotence-guarded)."""
+        if self._started:
+            raise RuntimeError("server started twice")
+        self._started = True
+        node_id = self.node.node_id
+        self.env.process(self._pump(), name=f"rpc.pump@{node_id}")
+        for i in range(self.workers):
+            self.env.process(self._worker(), name=f"rpc.worker{i}@{node_id}")
+
+    def _pump(self) -> Generator:
+        """Extract requests and feed the bounded queue under the policy."""
+        endpoint = self.endpoint
+        queue = self.queue
+        nic = self.node.nic
+        while True:
+            while endpoint.inbox:
+                request = endpoint.inbox.popleft()
+                if self.policy == "shed" and queue.is_full:
+                    # Dropped requests are counted once, client-side, when
+                    # the RPC_SHED response lands (stats are shared).
+                    yield from endpoint.send_response(
+                        request.src, request.req_id, RPC_SHED, 0)
+                    continue
+                # Blocks while the queue is full ("queue"/"deadline"): no
+                # extracting happens meanwhile, the receive region fills,
+                # and FM flow control stalls the senders.
+                yield queue.put(request)
+                self.stats.note_queue_depth(queue.level)
+            yield from endpoint.extract_some(self.extract_budget)
+            if not endpoint.inbox and nic.recv_region.level == 0:
+                yield from endpoint.idle_wait()
+
+    def _worker(self) -> Generator:
+        """Dequeue, serve (charging the request's demand), respond."""
+        endpoint = self.endpoint
+        cpu = self.node.cpu
+        while True:
+            request: Request = yield self.queue.get()
+            self.stats.note_queue_depth(self.queue.level)
+            self.stats.note_queue_wait(self.env.now - request.enq_ns)
+            if (self.policy == "deadline" and request.deadline_ns
+                    and self.env.now > request.deadline_ns):
+                yield from endpoint.send_response(
+                    request.src, request.req_id, RPC_EXPIRED, 0)
+                continue
+            if request.work_ns:
+                yield from cpu.compute(request.work_ns)
+            yield from endpoint.send_response(
+                request.src, request.req_id, RPC_OK, self.resp_bytes)
+            self.served += 1
+
+    def __repr__(self) -> str:
+        return (f"<RpcServer node={self.node.node_id} policy={self.policy} "
+                f"workers={self.workers} served={self.served}>")
+
+
+class RpcClient:
+    """One client node issuing requests under an arrival spec.
+
+    :meth:`run` is the node program for :meth:`Cluster.run`: it issues
+    ``n_requests`` and returns once every one is resolved (responded or
+    abandoned).  A companion pump process extracts responses concurrently,
+    sleeping on ``rx_wakeup`` between deposits.
+    """
+
+    def __init__(self, endpoint: RpcEndpoint, server: int, *,
+                 arrivals: ArrivalSpec, seed: int, n_requests: int,
+                 req_bytes: int = 64, work_ns: int = 0,
+                 deadline_ns: int = 0,
+                 abandon_after_ns: Optional[int] = None,
+                 name: str = "client"):
+        if n_requests < 1:
+            raise ValueError(f"n_requests must be positive, got {n_requests}")
+        self.endpoint = endpoint
+        self.env = endpoint.env
+        self.server = server
+        self.arrivals = arrivals
+        self.n_requests = n_requests
+        self.req_bytes = req_bytes
+        self.work_ns = work_ns
+        self.deadline_ns = deadline_ns
+        self.abandon_after_ns = abandon_after_ns
+        self.name = name
+        self._gaps = gap_stream(arrivals, seed, name)
+        self._sending = True
+
+    # -- the node program ---------------------------------------------------
+    def run(self) -> Generator:
+        """Node program: spawn the extract pump and drive the arrival loop."""
+        self.env.process(self._pump(),
+                         name=f"rpc.pump@{self.endpoint.node.node_id}")
+        if isinstance(self.arrivals, ClosedLoop):
+            yield from self._closed_loop()
+        else:
+            yield from self._open_loop()
+
+    def _open_loop(self) -> Generator:
+        """Issue on schedule regardless of completions, then drain."""
+        env = self.env
+        outstanding = []
+        t_next = env.now
+        for _ in range(self.n_requests):
+            t_next += next(self._gaps)
+            if env.now < t_next:
+                yield env.timeout(t_next - env.now)
+            deadline = t_next + self.deadline_ns if self.deadline_ns else 0
+            req_id, event = yield from self.endpoint.send_request(
+                self.server, self.work_ns, self.req_bytes,
+                deadline_ns=deadline, t_intended=t_next)
+            outstanding.append((req_id, event))
+        self._sending = False
+        for req_id, event in outstanding:
+            yield from self._await(req_id, event)
+
+    def _closed_loop(self) -> Generator:
+        """Send, wait for the response, think, repeat."""
+        env = self.env
+        for _ in range(self.n_requests):
+            deadline = env.now + self.deadline_ns if self.deadline_ns else 0
+            req_id, event = yield from self.endpoint.send_request(
+                self.server, self.work_ns, self.req_bytes,
+                deadline_ns=deadline)
+            yield from self._await(req_id, event)
+            think = next(self._gaps)
+            if think:
+                yield env.timeout(think)
+        self._sending = False
+
+    def _await(self, req_id: int, event) -> Generator:
+        if event.triggered:
+            return
+        if self.abandon_after_ns is None:
+            yield event
+            return
+        yield self.env.any_of([event, self.env.timeout(self.abandon_after_ns)])
+        if not event.triggered:
+            self.endpoint.abandon(req_id)
+
+    def _pump(self) -> Generator:
+        endpoint = self.endpoint
+        nic = endpoint.node.nic
+        while self._sending or endpoint.pending:
+            yield from endpoint.extract_some()
+            if nic.recv_region.level == 0 and (self._sending or endpoint.pending):
+                yield from endpoint.idle_wait()
+
+    def __repr__(self) -> str:
+        return (f"<RpcClient {self.name!r} node={self.endpoint.node.node_id} "
+                f"-> {self.server} n={self.n_requests}>")

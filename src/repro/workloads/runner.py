@@ -1,0 +1,200 @@
+"""Scenario specs and the one-call runner: spec -> cluster -> run -> report.
+
+A :class:`Scenario` is pure data (a frozen dataclass, JSON-round-trippable
+via :meth:`Scenario.from_dict` / ``dataclasses.asdict``) naming everything
+a run depends on: the cluster shape, the FM generation, the workload kind,
+its arrival process, and the service parameters.  :func:`run_scenario`
+builds the cluster, optionally composes a
+:class:`~repro.faults.plan.FaultPlan` and/or an observer (both ride the
+standard ``Cluster.inject_faults`` / ``Cluster.observe`` hooks — zero cost
+when absent, bit-identical results when passive), runs the workload, and
+returns a deterministic report dict.
+
+Workload kinds:
+
+* ``rpc`` — node 0 serves, nodes 1..n-1 run :class:`RpcClient` under the
+  scenario's arrival spec.
+* ``halo`` — all nodes run the halo-exchange stencil over MPI-FM.
+* ``allreduce`` — all nodes run the data-parallel training step.
+
+Determinism: the report is a pure function of ``(scenario, plan)``.  Two
+calls with equal specs produce byte-identical JSON (pinned by the smoke
+test), which is what makes sweep results diffable across commits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Optional
+
+from repro.cluster.cluster import Cluster
+from repro.configs import PPRO_FM2, SPARC_FM1
+
+from repro.workloads.arrivals import ArrivalSpec, Bursty, ClosedLoop, OpenLoop
+from repro.workloads.rpc import RpcClient, RpcEndpoint, RpcServer
+from repro.workloads.stats import WorkloadStats
+
+MACHINES = {"sparc": SPARC_FM1, "ppro": PPRO_FM2}
+KINDS = ("rpc", "halo", "allreduce")
+ARRIVALS = ("open", "open-fixed", "closed", "bursty")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """Everything one workload run depends on, as pure data."""
+
+    name: str
+    kind: str = "rpc"
+    seed: int = 1
+    n_nodes: int = 4
+    fm_version: int = 2
+    machine: str = "ppro"
+    # -- rpc: arrival process (per client) --------------------------------
+    arrival: str = "open"
+    rate_rps: float = 20_000.0       # open / bursty offered load
+    think_ns: int = 0                # closed-loop think time
+    think_exponential: bool = False
+    burst_on_ns: int = 200_000       # bursty on/off window
+    burst_off_ns: int = 300_000
+    # -- rpc: requests and service ----------------------------------------
+    n_requests: int = 100            # per client
+    req_bytes: int = 64
+    resp_bytes: int = 64
+    work_ns: int = 2_000             # service demand carried per request
+    workers: int = 2
+    queue_capacity: int = 16
+    policy: str = "queue"
+    deadline_ns: int = 0             # request deadline budget (0 = none)
+    abandon_after_ns: Optional[int] = None
+    extract_budget: Optional[int] = None   # server receiver flow control
+    # -- halo / allreduce --------------------------------------------------
+    iterations: int = 50
+    halo_bytes: int = 256
+    grad_bytes: int = 4096
+    compute_ns: int = 5_000
+    # -- run guard ---------------------------------------------------------
+    until_ns: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"kind must be one of {KINDS}, got {self.kind!r}")
+        if self.machine not in MACHINES:
+            raise ValueError(f"machine must be one of {sorted(MACHINES)}, "
+                             f"got {self.machine!r}")
+        if self.arrival not in ARRIVALS:
+            raise ValueError(f"arrival must be one of {ARRIVALS}, "
+                             f"got {self.arrival!r}")
+
+    def arrival_spec(self) -> ArrivalSpec:
+        """Materialise the arrival-process spec named by ``self.arrival``."""
+        if self.arrival == "open":
+            return OpenLoop(self.rate_rps)
+        if self.arrival == "open-fixed":
+            return OpenLoop(self.rate_rps, poisson=False)
+        if self.arrival == "closed":
+            return ClosedLoop(self.think_ns, exponential=self.think_exponential)
+        return Bursty(self.rate_rps, self.burst_on_ns, self.burst_off_ns)
+
+    @classmethod
+    def from_dict(cls, spec: dict) -> "Scenario":
+        unknown = set(spec) - {f.name for f in
+                               cls.__dataclass_fields__.values()}
+        if unknown:
+            raise ValueError(f"unknown scenario fields: {sorted(unknown)}")
+        return cls(**spec)
+
+
+def _run_rpc(cluster: Cluster, scenario: Scenario,
+             stats: WorkloadStats) -> None:
+    # Endpoints on every node, built in node order so handler ids agree
+    # (handler ids index the receiver's table — SPMD registration).
+    endpoints = [RpcEndpoint(node, stats) for node in cluster.nodes]
+    server = RpcServer(
+        endpoints[0], stats, workers=scenario.workers,
+        queue_capacity=scenario.queue_capacity, policy=scenario.policy,
+        resp_bytes=scenario.resp_bytes,
+        extract_budget=scenario.extract_budget)
+    server.start()
+    spec = scenario.arrival_spec()
+    clients = [
+        RpcClient(endpoints[i], 0, arrivals=spec, seed=scenario.seed,
+                  n_requests=scenario.n_requests,
+                  req_bytes=scenario.req_bytes, work_ns=scenario.work_ns,
+                  deadline_ns=scenario.deadline_ns,
+                  abandon_after_ns=scenario.abandon_after_ns,
+                  name=f"client{i}")
+        for i in range(1, cluster.n_nodes)
+    ]
+    programs = [None] + [
+        (lambda node, client=client: client.run()) for client in clients]
+    cluster.run(programs, until_ns=scenario.until_ns)
+
+
+def _run_mpi(cluster: Cluster, scenario: Scenario,
+             stats: WorkloadStats) -> None:
+    from repro.upper.mpi.world import build_mpi_world
+    from repro.workloads.apps import allreduce_program, halo_program
+
+    comms = build_mpi_world(cluster)
+    if scenario.kind == "halo":
+        programs = [halo_program(comm, iterations=scenario.iterations,
+                                 halo_bytes=scenario.halo_bytes,
+                                 compute_ns=scenario.compute_ns, stats=stats)
+                    for comm in comms]
+    else:
+        programs = [allreduce_program(comm, iterations=scenario.iterations,
+                                      grad_bytes=scenario.grad_bytes,
+                                      compute_ns=scenario.compute_ns,
+                                      stats=stats)
+                    for comm in comms]
+    cluster.run([(lambda node, program=program: program())
+                 for program in programs], until_ns=scenario.until_ns)
+
+
+def run_scenario(scenario: Scenario, plan=None, observe: bool = False) -> dict:
+    """Run one scenario to completion; returns the report dict.
+
+    ``plan`` is an optional :class:`~repro.faults.plan.FaultPlan`;
+    ``observe=True`` attaches an observer (spans + metrics federation) —
+    both compose through the cluster's standard hooks and neither changes
+    the simulated results.
+    """
+    cluster = Cluster(scenario.n_nodes, machine=MACHINES[scenario.machine],
+                      fm_version=scenario.fm_version)
+    injector = cluster.inject_faults(plan) if plan is not None else None
+    observer = cluster.observe() if observe else None
+    stats = WorkloadStats(cluster.env, name=f"workload.{scenario.name}")
+    if observer is not None:
+        stats.federate(observer.metrics)
+    if scenario.kind == "rpc":
+        _run_rpc(cluster, scenario, stats)
+    else:
+        _run_mpi(cluster, scenario, stats)
+    report = {
+        "scenario": asdict(scenario),
+        "results": stats.report(),
+        "sim_end_ns": cluster.now,
+    }
+    if injector is not None:
+        report["faults"] = {
+            "events": len(injector.events),
+            "counters": dict(sorted(injector.counters.as_dict().items())),
+        }
+    return report
+
+
+#: Named scenarios the CLI (and the smoke tests) run out of the box.
+PRESETS = {
+    "rpc-open": Scenario(name="rpc-open", kind="rpc", arrival="open",
+                         rate_rps=20_000.0, n_requests=60),
+    "rpc-closed": Scenario(name="rpc-closed", kind="rpc", arrival="closed",
+                           think_ns=10_000, n_requests=60),
+    "rpc-incast": Scenario(name="rpc-incast", kind="rpc", arrival="bursty",
+                           n_nodes=6, rate_rps=50_000.0, n_requests=40,
+                           policy="shed", queue_capacity=8),
+    "mpi-halo": Scenario(name="mpi-halo", kind="halo", iterations=30,
+                         halo_bytes=256, compute_ns=5_000),
+    "mpi-allreduce": Scenario(name="mpi-allreduce", kind="allreduce",
+                              iterations=20, grad_bytes=4096,
+                              compute_ns=10_000),
+}

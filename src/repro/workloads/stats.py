@@ -1,0 +1,232 @@
+"""Streaming workload statistics: latency reservoirs, throughput, queues.
+
+One :class:`WorkloadStats` per scenario run collects everything the report
+needs:
+
+* a :class:`Reservoir` of end-to-end request latencies (plus one for
+  server queue waits) with deterministic nearest-rank p50/p95/p99;
+* a :class:`~repro.simkernel.monitor.Counters` bag of request outcomes
+  (``sent``, ``completed``, ``shed``, ``expired``, request/response
+  bytes);
+* a queue-depth time series sampled at every enqueue/dequeue;
+* first-send / last-completion marks, from which delivered throughput
+  (requests/s) and goodput (MB/s) fall out.
+
+Everything is bookkeeping-only — recording never touches the event heap,
+so stats add zero simulated time — and, like the rest of the stack, a
+pure function of the simulated run: two runs of the same scenario spec
+produce bit-identical sample lists (pinned by
+``tests/workloads/test_stats.py``).
+
+When a run is observed (``cluster.observe()``), :meth:`WorkloadStats.federate`
+registers the counters with the observer's metrics registry and mirrors
+every latency sample into its histograms, so the breakdown CLI and Perfetto
+exports see workload signals alongside the per-layer spans.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.simkernel.monitor import Counters
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.metrics import Metrics
+    from repro.simkernel.env import Environment
+
+
+class Reservoir:
+    """A streaming sample reservoir with deterministic quantiles.
+
+    Unbounded by default (scenario runs are small); give ``capacity`` to
+    switch to Vitter's Algorithm R with a seeded RNG, keeping a uniform
+    sample of everything seen — still a pure function of the value stream,
+    so reruns stay bit-identical.  Quantiles use the nearest-rank method
+    (``numpy.percentile(..., method="inverted_cdf")`` agrees), matching
+    :class:`repro.obs.metrics.Histogram`.
+    """
+
+    def __init__(self, name: str, capacity: Optional[int] = None, seed: int = 0):
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self.samples: list[int] = []
+        self.count = 0
+        self.total = 0
+        self._rng = (np.random.default_rng(seed)
+                     if capacity is not None else None)
+
+    def record(self, value: int) -> None:
+        """Add one sample (reservoir-sampled once past capacity)."""
+        self.count += 1
+        self.total += value
+        if self.capacity is None or len(self.samples) < self.capacity:
+            self.samples.append(value)
+            return
+        slot = int(self._rng.integers(0, self.count))
+        if slot < self.capacity:
+            self.samples[slot] = value
+
+    def percentile(self, p: float) -> int:
+        """Nearest-rank percentile ``p`` in [0, 100] (raises when empty)."""
+        if not self.samples:
+            raise ValueError(f"reservoir {self.name!r} has no samples")
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        ordered = sorted(self.samples)
+        rank = max(1, math.ceil(p / 100 * len(ordered)))
+        return ordered[rank - 1]
+
+    @property
+    def p50(self) -> int:
+        return self.percentile(50)
+
+    @property
+    def p95(self) -> int:
+        return self.percentile(95)
+
+    @property
+    def p99(self) -> int:
+        return self.percentile(99)
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError(f"reservoir {self.name!r} has no samples")
+        return self.total / self.count
+
+    def summary(self) -> dict:
+        """Deterministic summary dict (``None`` quantiles when empty)."""
+        empty = not self.samples
+        return {
+            "count": self.count,
+            "mean_ns": None if self.count == 0 else round(self.mean, 1),
+            "p50_ns": None if empty else self.p50,
+            "p95_ns": None if empty else self.p95,
+            "p99_ns": None if empty else self.p99,
+            "max_ns": None if empty else max(self.samples),
+        }
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __repr__(self) -> str:
+        return f"<Reservoir {self.name!r} n={self.count}>"
+
+
+class WorkloadStats:
+    """All quantitative signals of one workload run, federated on demand."""
+
+    def __init__(self, env: "Environment", name: str = "workload"):
+        self.env = env
+        self.name = name
+        self.latency = Reservoir(f"{name}.latency_ns")
+        self.queue_wait = Reservoir(f"{name}.queue_wait_ns")
+        self.counters = Counters()
+        #: (time_ns, depth) samples, one per enqueue/dequeue.
+        self.queue_depth: list[tuple[int, int]] = []
+        self.t_first_send: Optional[int] = None
+        self.t_last_done: Optional[int] = None
+        self._metrics: Optional["Metrics"] = None
+
+    # -- federation -----------------------------------------------------------
+    def federate(self, metrics: "Metrics") -> None:
+        """Register with an observer's metrics registry (see module doc)."""
+        metrics.register_counters(self.name, self.counters)
+        self._metrics = metrics
+
+    # -- recording --------------------------------------------------------------
+    def note_sent(self, nbytes: int) -> None:
+        """Record one request issued with ``nbytes`` of request payload."""
+        now = self.env.now
+        if self.t_first_send is None:
+            self.t_first_send = now
+        self.counters.add("sent")
+        self.counters.add("request_bytes", nbytes)
+
+    def note_completed(self, latency_ns: int, response_bytes: int) -> None:
+        """Record one successful completion and its end-to-end latency."""
+        self.t_last_done = self.env.now
+        self.counters.add("completed")
+        self.counters.add("response_bytes", response_bytes)
+        self.latency.record(latency_ns)
+        if self._metrics is not None:
+            self._metrics.histogram(f"{self.name}.latency_ns").record(latency_ns)
+
+    def note_dropped(self, kind: str) -> None:
+        """Count one lost request: ``kind`` is ``shed``, ``expired``, or
+        ``abandoned`` (client gave up waiting)."""
+        self.counters.add(kind)
+
+    def note_queue_depth(self, depth: int) -> None:
+        """Sample the server queue depth observed at dequeue time."""
+        self.queue_depth.append((self.env.now, depth))
+        if self._metrics is not None:
+            self._metrics.histogram(f"{self.name}.queue_depth").record(depth)
+
+    def note_queue_wait(self, wait_ns: int) -> None:
+        """Record how long a request sat in the server queue."""
+        self.queue_wait.record(wait_ns)
+        if self._metrics is not None:
+            self._metrics.histogram(f"{self.name}.queue_wait_ns").record(wait_ns)
+
+    # -- derived ----------------------------------------------------------------
+    @property
+    def elapsed_ns(self) -> int:
+        """First send to last completion (0 before any completion)."""
+        if self.t_first_send is None or self.t_last_done is None:
+            return 0
+        return self.t_last_done - self.t_first_send
+
+    def throughput_rps(self) -> float:
+        """Delivered completions per second over the active window."""
+        elapsed = self.elapsed_ns
+        if elapsed <= 0:
+            return 0.0
+        return self.counters["completed"] / (elapsed / 1e9)
+
+    def goodput_mbs(self) -> float:
+        """Delivered payload (request + response bytes of *completed*
+        exchanges) in MB/s over the active window."""
+        elapsed = self.elapsed_ns
+        completed = self.counters["completed"]
+        sent = self.counters["sent"]
+        if elapsed <= 0 or completed == 0 or sent == 0:
+            return 0.0
+        # Request bytes are counted at send time; scale to the completed set.
+        request_bytes = self.counters["request_bytes"] * completed / sent
+        payload = request_bytes + self.counters["response_bytes"]
+        return payload / (elapsed / 1e9) / 1e6
+
+    def drops(self) -> int:
+        """Total lost requests across all drop kinds."""
+        return (self.counters["shed"] + self.counters["expired"]
+                + self.counters["abandoned"])
+
+    def report(self) -> dict:
+        """The deterministic per-run report fragment."""
+        depths = [depth for _t, depth in self.queue_depth]
+        return {
+            "latency": self.latency.summary(),
+            "queue_wait": self.queue_wait.summary(),
+            "queue_depth_max": max(depths) if depths else 0,
+            "throughput_rps": round(self.throughput_rps(), 2),
+            "goodput_mbs": round(self.goodput_mbs(), 4),
+            "sent": self.counters["sent"],
+            "completed": self.counters["completed"],
+            "drops": {
+                "shed": self.counters["shed"],
+                "expired": self.counters["expired"],
+                "abandoned": self.counters["abandoned"],
+                "total": self.drops(),
+            },
+            "elapsed_ns": self.elapsed_ns,
+        }
+
+    def __repr__(self) -> str:
+        return (f"<WorkloadStats {self.name!r} sent={self.counters['sent']} "
+                f"completed={self.counters['completed']} drops={self.drops()}>")

@@ -1,0 +1,100 @@
+"""Arrival processes: shapes, validation, and the determinism contract."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.workloads.arrivals import (Bursty, ClosedLoop, OpenLoop,
+                                      client_rng, gap_stream)
+
+
+def take(stream, n):
+    return list(itertools.islice(stream, n))
+
+
+class TestSpecs:
+    def test_open_loop_mean_gap(self):
+        assert OpenLoop(rate_rps=1e6).mean_gap_ns == 1000.0
+
+    def test_open_loop_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            OpenLoop(rate_rps=0)
+
+    def test_closed_loop_rejects_negative_think(self):
+        with pytest.raises(ValueError):
+            ClosedLoop(think_ns=-1)
+
+    def test_closed_loop_exponential_needs_positive_mean(self):
+        with pytest.raises(ValueError):
+            ClosedLoop(think_ns=0, exponential=True)
+
+    def test_bursty_rejects_bad_windows(self):
+        with pytest.raises(ValueError):
+            Bursty(rate_rps=1000.0, on_ns=0, off_ns=10)
+        with pytest.raises(ValueError):
+            Bursty(rate_rps=1000.0, on_ns=10, off_ns=-1)
+
+    def test_gap_stream_rejects_non_spec(self):
+        with pytest.raises(TypeError):
+            gap_stream(object(), seed=1, client="c")
+
+
+class TestDeterminism:
+    def test_same_spec_seed_client_is_bit_identical(self):
+        spec = OpenLoop(rate_rps=50_000.0)
+        a = take(gap_stream(spec, seed=3, client="client1"), 200)
+        b = take(gap_stream(spec, seed=3, client="client1"), 200)
+        assert a == b
+
+    def test_different_clients_draw_independent_streams(self):
+        spec = OpenLoop(rate_rps=50_000.0)
+        a = take(gap_stream(spec, seed=3, client="client1"), 50)
+        b = take(gap_stream(spec, seed=3, client="client2"), 50)
+        assert a != b
+
+    def test_different_seeds_differ(self):
+        spec = Bursty(rate_rps=50_000.0, on_ns=100_000, off_ns=50_000)
+        a = take(gap_stream(spec, seed=1, client="c"), 50)
+        b = take(gap_stream(spec, seed=2, client="c"), 50)
+        assert a != b
+
+    def test_client_rng_matches_faults_convention(self):
+        # Same derivation as repro.faults: default_rng((seed, crc32(name))).
+        import zlib
+        ours = client_rng(9, "cl").integers(0, 1 << 30, 8)
+        ref = np.random.default_rng(
+            (9, zlib.crc32(b"cl"))).integers(0, 1 << 30, 8)
+        assert list(ours) == list(ref)
+
+
+class TestShapes:
+    def test_fixed_interval_open_loop(self):
+        gaps = take(gap_stream(OpenLoop(rate_rps=1e6, poisson=False),
+                               seed=1, client="c"), 20)
+        assert gaps == [1000] * 20
+
+    def test_poisson_gaps_average_to_the_rate(self):
+        spec = OpenLoop(rate_rps=100_000.0)  # mean gap 10_000 ns
+        gaps = take(gap_stream(spec, seed=5, client="c"), 4000)
+        assert all(g >= 1 for g in gaps)
+        assert np.mean(gaps) == pytest.approx(10_000, rel=0.05)
+
+    def test_fixed_think_time(self):
+        gaps = take(gap_stream(ClosedLoop(think_ns=777), seed=1, client="c"), 10)
+        assert gaps == [777] * 10
+
+    def test_exponential_think_time_mean(self):
+        spec = ClosedLoop(think_ns=5_000, exponential=True)
+        gaps = take(gap_stream(spec, seed=8, client="c"), 4000)
+        assert np.mean(gaps) == pytest.approx(5_000, rel=0.05)
+
+    def test_bursty_arrivals_land_inside_on_windows(self):
+        spec = Bursty(rate_rps=200_000.0, on_ns=50_000, off_ns=150_000)
+        period = spec.on_ns + spec.off_ns
+        t = 0
+        for gap in take(gap_stream(spec, seed=4, client="c"), 500):
+            t += gap
+            assert t % period < spec.on_ns, f"arrival at {t} is in an off-window"
