@@ -1,10 +1,12 @@
 """Workloads smoke test — wired into tier-1 via pyproject testpaths.
 
-Exercises the scenario CLI end to end on three preset specs (open-loop
-RPC, closed-loop RPC, MPI allreduce): each run emits a JSON report with
-the full latency/throughput/drop schema, reruns are byte-identical, and
-attaching the observer changes nothing.  Fast by construction, so it runs
-with the regular test suite rather than the benchmark tier.
+Exercises the scenario CLI end to end on four preset specs (open-loop
+RPC, closed-loop RPC, MPI allreduce, and a 4-shard RPC service): each run
+emits a JSON report with the full latency/throughput/drop schema —
+per-shard sections and the imbalance ratio for the sharded preset —
+reruns are byte-identical, and attaching the observer changes nothing.
+Fast by construction, so it runs with the regular test suite rather than
+the benchmark tier.
 """
 
 from __future__ import annotations
@@ -17,7 +19,7 @@ from repro.workloads.run import main
 
 pytestmark = pytest.mark.fast
 
-SMOKE_PRESETS = ("rpc-open", "rpc-closed", "mpi-allreduce")
+SMOKE_PRESETS = ("rpc-open", "rpc-closed", "mpi-allreduce", "rpc-sharded")
 
 
 def run_cli(args, capsys):
@@ -59,6 +61,22 @@ class TestWorkloadsSmoke:
         report = json.loads(out.read_text())
         assert report["scenario"]["name"] == "custom"
         assert report["results"]["completed"] == 10
+
+    def test_sharded_preset_reports_per_shard_sections(self, capsys):
+        report = json.loads(run_cli(["rpc-sharded"], capsys))
+        results = report["results"]
+        shards = results["shards"]
+        assert len(shards) == report["scenario"]["servers"] == 4
+        assert sum(s["completed"] for s in shards) == results["completed"]
+        assert results["imbalance"] >= 1.0
+        # Every shard carries the full flat schema, not a summary.
+        for shard in shards:
+            assert set(shard["drops"]) == {"shed", "expired", "abandoned",
+                                           "total"}
+            assert "p99_ns" in shard["latency"]
+        # Byte-identical rerun: the sharded path keeps the contract.
+        assert run_cli(["rpc-sharded"], capsys) == run_cli(
+            ["rpc-sharded"], capsys)
 
     def test_list_and_bad_preset(self, capsys):
         listing = run_cli(["list"], capsys)

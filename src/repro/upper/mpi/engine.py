@@ -22,6 +22,13 @@ flushes deferred control replies.  It is also installed as the FM endpoint's
 receive side progressing — the interlayer-scheduling deadlock-avoidance the
 paper attributes to FM 2.x's design (applied to both bindings, since MPICH
 on FM 1.x needed the same discipline).
+
+Blocking calls that find nothing to do never spin on a fixed backoff:
+like the sockets layer and the RPC pumps they sleep on
+:meth:`~repro.hardware.nic.Nic.rx_wakeup` (capped by
+``IDLE_WAIT_CAP_NS``) and fail loudly once *sim time* without progress —
+measured against ``env.now``, so time inflated by a ``CpuSlow`` fault
+counts — exceeds ``FmParams.stall_limit_ns``.
 """
 
 from __future__ import annotations
@@ -46,8 +53,10 @@ from repro.upper.mpi.status import MpiError, Request, Status
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.node import Node
 
-#: Backoff while a blocking call finds nothing to do (one poll period).
-IDLE_BACKOFF_NS = 300
+#: Cap on event-based idle waits: guards the rare missed-wakeup case
+#: (another process on this node extracted our data with no fresh
+#: receive-region deposit) without reverting to a fine-grained poll.
+IDLE_WAIT_CAP_NS = 20_000
 
 
 @dataclass(frozen=True)
@@ -140,17 +149,17 @@ class MpiEngine:
         rts = Envelope(context, self.rank, tag, len(data), KIND_RTS, serial)
         yield from self.binding.send_message(dest, rts, b"")
         key = (dest, serial)
-        waited = 0
+        t_wait = self.env.now
         while key not in self._cts_received:
             advanced = yield from self.progress()
-            if not advanced:
-                yield self.env.timeout(IDLE_BACKOFF_NS)
-                waited += IDLE_BACKOFF_NS
-                if waited > self.fm.params.stall_limit_ns:
-                    raise MpiError(
-                        f"rank {self.rank}: no CTS from rank {dest} "
-                        f"(serial {serial}) — receiver never posted?"
-                    )
+            if advanced:
+                t_wait = self.env.now
+                continue
+            self._check_stall(
+                t_wait,
+                f"no CTS from rank {dest} (serial {serial}) — "
+                "receiver never posted?")
+            yield from self._idle_wait()
         self._cts_received.remove(key)
         data_env = Envelope(context, self.rank, tag, len(data),
                             KIND_RENDEZVOUS_DATA, serial)
@@ -233,17 +242,17 @@ class MpiEngine:
         """Progress until the request completes."""
         obs = self.env.obs
         t0 = self.env.now
-        waited = 0
+        t_wait = self.env.now
         while not request.complete:
             advanced = yield from self.progress()
-            if not advanced:
-                yield self.env.timeout(IDLE_BACKOFF_NS)
-                waited += IDLE_BACKOFF_NS
-                if waited > self.fm.params.stall_limit_ns:
-                    raise MpiError(
-                        f"rank {self.rank}: wait() made no progress for "
-                        f"{waited} ns on {request!r}"
-                    )
+            if advanced:
+                t_wait = self.env.now
+                continue
+            self._check_stall(
+                t_wait,
+                f"wait() made no progress for {self.env.now - t_wait} ns "
+                f"on {request!r}")
+            yield from self._idle_wait()
         if self.costs.completion_ns:
             yield from self.cpu.execute(self.costs.completion_ns)
         if obs is not None:
@@ -260,19 +269,17 @@ class MpiEngine:
         """Progress until at least one request completes; returns its index."""
         if not requests:
             raise MpiError("waitany needs at least one request")
-        waited = 0
+        t_wait = self.env.now
         while True:
             for index, request in enumerate(requests):
                 if request.complete:
                     return index
             advanced = yield from self.progress()
-            if not advanced:
-                yield self.env.timeout(IDLE_BACKOFF_NS)
-                waited += IDLE_BACKOFF_NS
-                if waited > self.fm.params.stall_limit_ns:
-                    raise MpiError(
-                        f"rank {self.rank}: waitany() made no progress"
-                    )
+            if advanced:
+                t_wait = self.env.now
+                continue
+            self._check_stall(t_wait, "waitany() made no progress")
+            yield from self._idle_wait()
 
     def waitsome(self, requests: list[Request]) -> Generator:
         """Progress until at least one completes; returns all complete indices."""
@@ -322,6 +329,32 @@ class MpiEngine:
         if self._in_progress:
             return
         yield from self.progress()
+
+    def _idle_wait(self) -> Generator:
+        """Sleep until the NIC's next receive-region deposit (capped).
+
+        Event-based wakeup replacing the old fixed-backoff poll: the
+        blocked call registers for the next rx deposit and wakes the
+        instant there is something to extract, instead of burning
+        simulated time re-polling an empty region.  The capped timeout
+        covers the missed-wakeup case (another process on this node
+        extracted our message with no fresh deposit).
+        """
+        yield self.env.any_of([self.node.nic.rx_wakeup(),
+                               self.env.timeout(IDLE_WAIT_CAP_NS)])
+
+    def _check_stall(self, t_wait: int, what: str) -> None:
+        """Fail loudly once sim time since ``t_wait`` exceeds the stall limit.
+
+        Measured against ``env.now`` — not an accumulated backoff count —
+        so time spent *inside* ``progress()`` (which a ``CpuSlow`` fault
+        episode can inflate arbitrarily) counts toward the limit and
+        detection cannot fire late.  Callers re-anchor ``t_wait`` whenever
+        a pass makes progress: the limit bounds time *stalled*, not the
+        total wait.
+        """
+        if self.env.now - t_wait > self.fm.params.stall_limit_ns:
+            raise MpiError(f"rank {self.rank}: {what}")
 
     def _flush_cts(self) -> Generator:
         flushed = False

@@ -42,7 +42,9 @@ OP_ACK = 4
 OP_ACC = 5
 OP_BARRIER = 6
 
-IDLE_BACKOFF_NS = 400
+#: Cap on event-based idle waits (see ``upper/mpi/engine.py`` for the
+#: missed-wakeup rationale).
+IDLE_WAIT_CAP_NS = 20_000
 
 
 class ShmemError(Exception):
@@ -173,14 +175,24 @@ class Shmem:
         yield from self.progress()
 
     def _await(self, condition, what: str) -> Generator:
-        waited = 0
+        """Progress until ``condition`` holds, sleeping on rx deposits.
+
+        Idle passes wait on :meth:`~repro.hardware.nic.Nic.rx_wakeup`
+        (capped) instead of a fixed backoff, and the stall check measures
+        sim time without progress against ``env.now`` — so time spent
+        inside ``progress()`` (e.g. under a ``CpuSlow`` fault episode)
+        counts and detection cannot fire late.
+        """
+        t_wait = self.env.now
         while not condition():
             advanced = yield from self.progress()
-            if not advanced:
-                yield self.env.timeout(IDLE_BACKOFF_NS)
-                waited += IDLE_BACKOFF_NS
-                if waited > self.fm.params.stall_limit_ns:
-                    raise ShmemError(f"PE {self.me} stalled waiting for {what}")
+            if advanced:
+                t_wait = self.env.now
+                continue
+            if self.env.now - t_wait > self.fm.params.stall_limit_ns:
+                raise ShmemError(f"PE {self.me} stalled waiting for {what}")
+            yield self.env.any_of([self.node.nic.rx_wakeup(),
+                                   self.env.timeout(IDLE_WAIT_CAP_NS)])
 
     # -- wire -----------------------------------------------------------------------
     def _send(self, pe: int, op: int, region_id: int, offset: int, size: int,

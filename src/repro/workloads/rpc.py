@@ -101,12 +101,17 @@ class RpcEndpoint:
         self.fm = node.fm
         self.stats = stats
         self.is_fm1 = isinstance(node.fm, FM1)
-        #: Client side: req_id -> (intended arrival ns, completion event).
-        self.pending: dict[int, tuple[int, object]] = {}
+        #: Client side: req_id -> (intended arrival ns, completion event,
+        #: shard index or None for unsharded traffic).
+        self.pending: dict[int, tuple[int, object, Optional[int]]] = {}
         #: Server side: requests parsed by the handler, awaiting the pump.
         self.inbox: deque[Request] = deque()
         #: Responses that arrived after the client abandoned the request.
         self.stale_responses = 0
+        #: Optional ``(req_id, shard)`` callback fired exactly once per
+        #: request when it resolves (response landed or client abandoned)
+        #: — how a load balancer keeps its in-flight view honest.
+        self.on_resolved = None
         self._next_req_id = 0
         if self.is_fm1:
             self.request_handler = self.fm.register_handler(self._request_fm1)
@@ -118,23 +123,25 @@ class RpcEndpoint:
     # -- send side ---------------------------------------------------------
     def send_request(self, server: int, work_ns: int, payload_len: int,
                      deadline_ns: int = 0,
-                     t_intended: Optional[int] = None) -> Generator:
+                     t_intended: Optional[int] = None,
+                     shard: Optional[int] = None) -> Generator:
         """Issue one request; returns ``(req_id, completion event)``.
 
         The event fires with ``(status, response payload len)`` when the
         response handler runs.  Latency is accounted against
         ``t_intended`` (the arrival process's scheduled issue time), so
         open-loop overload shows up as unbounded queueing delay rather
-        than a slowed clock.
+        than a slowed clock.  ``shard`` tags the request for per-shard
+        accounting and the ``on_resolved`` balancer callback.
         """
         req_id = self._next_req_id
         self._next_req_id += 1
         event = self.env.event()
         self.pending[req_id] = (
-            self.env.now if t_intended is None else t_intended, event)
+            self.env.now if t_intended is None else t_intended, event, shard)
         header = REQ_HEADER.pack(req_id, deadline_ns, work_ns, payload_len)
         yield from self._send(server, self.request_handler, header, payload_len)
-        self.stats.note_sent(REQ_HEADER.size + payload_len)
+        self.stats.note_sent(REQ_HEADER.size + payload_len, shard=shard)
         return req_id, event
 
     def send_response(self, dest: int, req_id: int, status: int,
@@ -181,8 +188,13 @@ class RpcEndpoint:
 
     def abandon(self, req_id: int) -> None:
         """Client gave up on ``req_id``; a late response becomes stale."""
-        if self.pending.pop(req_id, None) is not None:
-            self.stats.note_dropped("abandoned")
+        entry = self.pending.pop(req_id, None)
+        if entry is None:
+            return
+        _t, _event, shard = entry
+        self.stats.note_dropped("abandoned", shard=shard)
+        if self.on_resolved is not None:
+            self.on_resolved(req_id, shard)
 
     # -- handlers (SPMD-registered on every participating node) ------------------
     def _request_fm1(self, fm, src, buffer, nbytes) -> Generator:
@@ -218,14 +230,16 @@ class RpcEndpoint:
         if entry is None:
             self.stale_responses += 1
             return
-        t_intended, event = entry
+        t_intended, event, shard = entry
         if status == RPC_OK:
             self.stats.note_completed(self.env.now - t_intended,
-                                      RESP_HEADER.size + plen)
+                                      RESP_HEADER.size + plen, shard=shard)
         elif status == RPC_SHED:
-            self.stats.note_dropped("shed")
+            self.stats.note_dropped("shed", shard=shard)
         else:
-            self.stats.note_dropped("expired")
+            self.stats.note_dropped("expired", shard=shard)
+        if self.on_resolved is not None:
+            self.on_resolved(req_id, shard)
         event.succeed((status, plen))
 
     def __repr__(self) -> str:
@@ -245,7 +259,8 @@ class RpcServer:
     def __init__(self, endpoint: RpcEndpoint, stats: WorkloadStats, *,
                  workers: int = 2, queue_capacity: int = 16,
                  policy: str = "queue", resp_bytes: int = 64,
-                 extract_budget: Optional[int] = None):
+                 extract_budget: Optional[int] = None,
+                 shard: Optional[int] = None):
         if policy not in VALID_POLICIES:
             raise ValueError(f"policy must be one of {VALID_POLICIES}, "
                              f"got {policy!r}")
@@ -261,6 +276,10 @@ class RpcServer:
         self.policy = policy
         self.resp_bytes = resp_bytes
         self.extract_budget = extract_budget
+        #: Shard index when this server is one shard of a
+        #: :class:`~repro.workloads.sharding.ShardedService` (labels the
+        #: queue-side stats; client-side accounting tags itself).
+        self.shard = shard
         self.queue: Store = Store(self.env, capacity=queue_capacity,
                                   name=f"rpc.queue@{self.node.node_id}")
         self.served = 0
@@ -294,7 +313,7 @@ class RpcServer:
                 # extracting happens meanwhile, the receive region fills,
                 # and FM flow control stalls the senders.
                 yield queue.put(request)
-                self.stats.note_queue_depth(queue.level)
+                self.stats.note_queue_depth(queue.level, shard=self.shard)
             yield from endpoint.extract_some(self.extract_budget)
             if not endpoint.inbox and nic.recv_region.level == 0:
                 yield from endpoint.idle_wait()
@@ -305,8 +324,9 @@ class RpcServer:
         cpu = self.node.cpu
         while True:
             request: Request = yield self.queue.get()
-            self.stats.note_queue_depth(self.queue.level)
-            self.stats.note_queue_wait(self.env.now - request.enq_ns)
+            self.stats.note_queue_depth(self.queue.level, shard=self.shard)
+            self.stats.note_queue_wait(self.env.now - request.enq_ns,
+                                       shard=self.shard)
             if (self.policy == "deadline" and request.deadline_ns
                     and self.env.now > request.deadline_ns):
                 yield from endpoint.send_response(
@@ -363,6 +383,16 @@ class RpcClient:
         else:
             yield from self._open_loop()
 
+    def _issue(self, deadline_ns: int,
+               t_intended: Optional[int] = None) -> Generator:
+        """Send one request to this client's target; returns
+        ``(req_id, event)``.  The routing seam: :class:`ShardedClient
+        <repro.workloads.sharding.ShardedClient>` overrides this to pick a
+        shard per request through its balancer."""
+        return (yield from self.endpoint.send_request(
+            self.server, self.work_ns, self.req_bytes,
+            deadline_ns=deadline_ns, t_intended=t_intended))
+
     def _open_loop(self) -> Generator:
         """Issue on schedule regardless of completions, then drain."""
         env = self.env
@@ -373,9 +403,7 @@ class RpcClient:
             if env.now < t_next:
                 yield env.timeout(t_next - env.now)
             deadline = t_next + self.deadline_ns if self.deadline_ns else 0
-            req_id, event = yield from self.endpoint.send_request(
-                self.server, self.work_ns, self.req_bytes,
-                deadline_ns=deadline, t_intended=t_next)
+            req_id, event = yield from self._issue(deadline, t_intended=t_next)
             outstanding.append((req_id, event))
         self._sending = False
         for req_id, event in outstanding:
@@ -386,9 +414,7 @@ class RpcClient:
         env = self.env
         for _ in range(self.n_requests):
             deadline = env.now + self.deadline_ns if self.deadline_ns else 0
-            req_id, event = yield from self.endpoint.send_request(
-                self.server, self.work_ns, self.req_bytes,
-                deadline_ns=deadline)
+            req_id, event = yield from self._issue(deadline)
             yield from self._await(req_id, event)
             think = next(self._gaps)
             if think:

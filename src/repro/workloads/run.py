@@ -55,8 +55,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if opts.preset == "list":
         for name in sorted(PRESETS):
             scenario = PRESETS[name]
+            sharded = (f" servers={scenario.servers} "
+                       f"balancer={scenario.balancer}"
+                       if scenario.servers > 1 else "")
             print(f"{name}: kind={scenario.kind} nodes={scenario.n_nodes} "
-                  f"fm={scenario.fm_version}")
+                  f"fm={scenario.fm_version}{sharded}")
         return 0
     if (opts.preset is None) == (opts.spec is None):
         parser.error("give exactly one of: a preset name, or --spec FILE")

@@ -13,7 +13,12 @@ returns a deterministic report dict.
 Workload kinds:
 
 * ``rpc`` — node 0 serves, nodes 1..n-1 run :class:`RpcClient` under the
-  scenario's arrival spec.
+  scenario's arrival spec.  With ``servers: N`` (N >= 2) nodes 0..N-1
+  instead run a :class:`~repro.workloads.sharding.ShardedService` and the
+  clients route each request through the scenario's ``balancer``
+  (``static`` consistent hashing, ``round_robin``, or ``least_pending``)
+  over keys drawn uniform or Zipf-skewed (``key_skew``); per-shard
+  overload policies come from ``shard_policies``.
 * ``halo`` — all nodes run the halo-exchange stencil over MPI-FM.
 * ``allreduce`` — all nodes run the data-parallel training step.
 
@@ -31,7 +36,14 @@ from repro.cluster.cluster import Cluster
 from repro.configs import PPRO_FM2, SPARC_FM1
 
 from repro.workloads.arrivals import ArrivalSpec, Bursty, ClosedLoop, OpenLoop
-from repro.workloads.rpc import RpcClient, RpcEndpoint, RpcServer
+from repro.workloads.rpc import RpcClient, RpcEndpoint, RpcServer, VALID_POLICIES
+from repro.workloads.sharding import (
+    BALANCER_NAMES,
+    ShardedClient,
+    ShardedService,
+    key_stream,
+    make_balancer,
+)
 from repro.workloads.stats import WorkloadStats
 
 MACHINES = {"sparc": SPARC_FM1, "ppro": PPRO_FM2}
@@ -67,6 +79,14 @@ class Scenario:
     deadline_ns: int = 0             # request deadline budget (0 = none)
     abandon_after_ns: Optional[int] = None
     extract_budget: Optional[int] = None   # server receiver flow control
+    # -- rpc: sharding (servers >= 2 runs a ShardedService on nodes
+    # -- 0..servers-1, clients on the rest) --------------------------------
+    servers: int = 1
+    balancer: str = "static"         # static | round_robin | least_pending
+    vnodes: int = 64                 # consistent-hash ring virtual nodes
+    n_keys: int = 512                # request key universe per client
+    key_skew: float = 0.0            # 0 = uniform; >0 = Zipf-like hot keys
+    shard_policies: Optional[tuple] = None   # per-shard override of policy
     # -- halo / allreduce --------------------------------------------------
     iterations: int = 50
     halo_bytes: int = 256
@@ -84,6 +104,28 @@ class Scenario:
         if self.arrival not in ARRIVALS:
             raise ValueError(f"arrival must be one of {ARRIVALS}, "
                              f"got {self.arrival!r}")
+        if self.balancer not in BALANCER_NAMES:
+            raise ValueError(f"balancer must be one of {BALANCER_NAMES}, "
+                             f"got {self.balancer!r}")
+        if self.servers < 1:
+            raise ValueError(f"servers must be positive, got {self.servers}")
+        if self.kind == "rpc" and self.servers >= self.n_nodes:
+            raise ValueError(
+                f"{self.servers} servers on {self.n_nodes} nodes leaves no "
+                "client")
+        if self.shard_policies is not None:
+            # Coerce the JSON-side list to a tuple (Scenario is frozen).
+            policies = tuple(self.shard_policies)
+            object.__setattr__(self, "shard_policies", policies)
+            if len(policies) != self.servers:
+                raise ValueError(
+                    f"{len(policies)} shard_policies for "
+                    f"{self.servers} servers")
+            for policy in policies:
+                if policy not in VALID_POLICIES:
+                    raise ValueError(
+                        f"shard policy must be one of {VALID_POLICIES}, "
+                        f"got {policy!r}")
 
     def arrival_spec(self) -> ArrivalSpec:
         """Materialise the arrival-process spec named by ``self.arrival``."""
@@ -109,23 +151,52 @@ def _run_rpc(cluster: Cluster, scenario: Scenario,
     # Endpoints on every node, built in node order so handler ids agree
     # (handler ids index the receiver's table — SPMD registration).
     endpoints = [RpcEndpoint(node, stats) for node in cluster.nodes]
-    server = RpcServer(
-        endpoints[0], stats, workers=scenario.workers,
-        queue_capacity=scenario.queue_capacity, policy=scenario.policy,
-        resp_bytes=scenario.resp_bytes,
-        extract_budget=scenario.extract_budget)
-    server.start()
     spec = scenario.arrival_spec()
-    clients = [
-        RpcClient(endpoints[i], 0, arrivals=spec, seed=scenario.seed,
-                  n_requests=scenario.n_requests,
-                  req_bytes=scenario.req_bytes, work_ns=scenario.work_ns,
-                  deadline_ns=scenario.deadline_ns,
-                  abandon_after_ns=scenario.abandon_after_ns,
-                  name=f"client{i}")
-        for i in range(1, cluster.n_nodes)
-    ]
-    programs = [None] + [
+    if scenario.servers == 1:
+        server = RpcServer(
+            endpoints[0], stats, workers=scenario.workers,
+            queue_capacity=scenario.queue_capacity, policy=scenario.policy,
+            resp_bytes=scenario.resp_bytes,
+            extract_budget=scenario.extract_budget)
+        server.start()
+        clients = [
+            RpcClient(endpoints[i], 0, arrivals=spec, seed=scenario.seed,
+                      n_requests=scenario.n_requests,
+                      req_bytes=scenario.req_bytes, work_ns=scenario.work_ns,
+                      deadline_ns=scenario.deadline_ns,
+                      abandon_after_ns=scenario.abandon_after_ns,
+                      name=f"client{i}")
+            for i in range(1, cluster.n_nodes)
+        ]
+        programs = [None]
+    else:
+        # Shards on nodes 0..servers-1, clients on the rest; each client
+        # owns its balancer instance (least_pending is a per-client view).
+        policies = (scenario.shard_policies
+                    or (scenario.policy,) * scenario.servers)
+        service = ShardedService(
+            endpoints[:scenario.servers], stats, workers=scenario.workers,
+            queue_capacity=scenario.queue_capacity, policies=policies,
+            resp_bytes=scenario.resp_bytes,
+            extract_budget=scenario.extract_budget)
+        service.start()
+        clients = [
+            ShardedClient(
+                endpoints[i], service,
+                make_balancer(scenario.balancer, scenario.servers,
+                              scenario.vnodes),
+                key_stream(scenario.seed, f"client{i}", scenario.n_keys,
+                           scenario.key_skew),
+                arrivals=spec, seed=scenario.seed,
+                n_requests=scenario.n_requests,
+                req_bytes=scenario.req_bytes, work_ns=scenario.work_ns,
+                deadline_ns=scenario.deadline_ns,
+                abandon_after_ns=scenario.abandon_after_ns,
+                name=f"client{i}")
+            for i in range(scenario.servers, cluster.n_nodes)
+        ]
+        programs = [None] * scenario.servers
+    programs += [
         (lambda node, client=client: client.run()) for client in clients]
     cluster.run(programs, until_ns=scenario.until_ns)
 
@@ -163,7 +234,10 @@ def run_scenario(scenario: Scenario, plan=None, observe: bool = False) -> dict:
                       fm_version=scenario.fm_version)
     injector = cluster.inject_faults(plan) if plan is not None else None
     observer = cluster.observe() if observe else None
-    stats = WorkloadStats(cluster.env, name=f"workload.{scenario.name}")
+    n_shards = (scenario.servers
+                if scenario.kind == "rpc" and scenario.servers > 1 else 0)
+    stats = WorkloadStats(cluster.env, name=f"workload.{scenario.name}",
+                          n_shards=n_shards)
     if observer is not None:
         stats.federate(observer.metrics)
     if scenario.kind == "rpc":
@@ -192,6 +266,20 @@ PRESETS = {
     "rpc-incast": Scenario(name="rpc-incast", kind="rpc", arrival="bursty",
                            n_nodes=6, rate_rps=50_000.0, n_requests=40,
                            policy="shed", queue_capacity=8),
+    # Saturating 4-shard fan-out: offered load (6 clients x 80k) well past
+    # aggregate capacity, so delivered throughput reads as capacity and the
+    # per-shard sections show the consistent-hash split.
+    "rpc-sharded": Scenario(name="rpc-sharded", kind="rpc", arrival="open",
+                            n_nodes=10, servers=4, balancer="static",
+                            rate_rps=80_000.0, n_requests=40,
+                            req_bytes=256, resp_bytes=256, work_ns=0),
+    # Same traffic with Zipf-skewed keys: the static ring's hot shard shows
+    # up in the report's imbalance ratio (least_pending flattens it).
+    "rpc-sharded-skew": Scenario(name="rpc-sharded-skew", kind="rpc",
+                                 arrival="open", n_nodes=10, servers=4,
+                                 balancer="static", key_skew=1.2,
+                                 rate_rps=80_000.0, n_requests=40,
+                                 req_bytes=256, resp_bytes=256, work_ns=0),
     "mpi-halo": Scenario(name="mpi-halo", kind="halo", iterations=30,
                          halo_bytes=256, compute_ns=5_000),
     "mpi-allreduce": Scenario(name="mpi-allreduce", kind="allreduce",

@@ -119,9 +119,20 @@ class Reservoir:
 
 
 class WorkloadStats:
-    """All quantitative signals of one workload run, federated on demand."""
+    """All quantitative signals of one workload run, federated on demand.
 
-    def __init__(self, env: "Environment", name: str = "workload"):
+    With ``n_shards`` set, the aggregate object carries one nested
+    :class:`WorkloadStats` per shard (``self.shards``), and every
+    ``note_*`` call that names a ``shard`` records into both the aggregate
+    and that shard's reservoirs/counters — so imbalance across a
+    :class:`~repro.workloads.sharding.ShardedService` is first-class in
+    the report rather than something to reconstruct from logs.
+    """
+
+    def __init__(self, env: "Environment", name: str = "workload",
+                 n_shards: int = 0):
+        if n_shards < 0:
+            raise ValueError(f"n_shards must be non-negative, got {n_shards}")
         self.env = env
         self.name = name
         self.latency = Reservoir(f"{name}.latency_ns")
@@ -132,23 +143,41 @@ class WorkloadStats:
         self.t_first_send: Optional[int] = None
         self.t_last_done: Optional[int] = None
         self._metrics: Optional["Metrics"] = None
+        #: Per-shard sub-stats (empty for unsharded runs).
+        self.shards: list["WorkloadStats"] = [
+            WorkloadStats(env, f"{name}.shard{i}") for i in range(n_shards)]
 
     # -- federation -----------------------------------------------------------
     def federate(self, metrics: "Metrics") -> None:
-        """Register with an observer's metrics registry (see module doc)."""
+        """Register with an observer's metrics registry (see module doc).
+
+        Per-shard counters federate under ``<name>.shard<i>``, so the
+        breakdown CLI sees shard-level outcomes alongside the aggregate.
+        """
         metrics.register_counters(self.name, self.counters)
         self._metrics = metrics
+        for shard in self.shards:
+            shard.federate(metrics)
+
+    def _shard(self, shard: Optional[int]) -> Optional["WorkloadStats"]:
+        if shard is None or not self.shards:
+            return None
+        return self.shards[shard]
 
     # -- recording --------------------------------------------------------------
-    def note_sent(self, nbytes: int) -> None:
+    def note_sent(self, nbytes: int, shard: Optional[int] = None) -> None:
         """Record one request issued with ``nbytes`` of request payload."""
         now = self.env.now
         if self.t_first_send is None:
             self.t_first_send = now
         self.counters.add("sent")
         self.counters.add("request_bytes", nbytes)
+        sub = self._shard(shard)
+        if sub is not None:
+            sub.note_sent(nbytes)
 
-    def note_completed(self, latency_ns: int, response_bytes: int) -> None:
+    def note_completed(self, latency_ns: int, response_bytes: int,
+                       shard: Optional[int] = None) -> None:
         """Record one successful completion and its end-to-end latency."""
         self.t_last_done = self.env.now
         self.counters.add("completed")
@@ -156,23 +185,35 @@ class WorkloadStats:
         self.latency.record(latency_ns)
         if self._metrics is not None:
             self._metrics.histogram(f"{self.name}.latency_ns").record(latency_ns)
+        sub = self._shard(shard)
+        if sub is not None:
+            sub.note_completed(latency_ns, response_bytes)
 
-    def note_dropped(self, kind: str) -> None:
+    def note_dropped(self, kind: str, shard: Optional[int] = None) -> None:
         """Count one lost request: ``kind`` is ``shed``, ``expired``, or
         ``abandoned`` (client gave up waiting)."""
         self.counters.add(kind)
+        sub = self._shard(shard)
+        if sub is not None:
+            sub.note_dropped(kind)
 
-    def note_queue_depth(self, depth: int) -> None:
+    def note_queue_depth(self, depth: int, shard: Optional[int] = None) -> None:
         """Sample the server queue depth observed at dequeue time."""
         self.queue_depth.append((self.env.now, depth))
         if self._metrics is not None:
             self._metrics.histogram(f"{self.name}.queue_depth").record(depth)
+        sub = self._shard(shard)
+        if sub is not None:
+            sub.note_queue_depth(depth)
 
-    def note_queue_wait(self, wait_ns: int) -> None:
+    def note_queue_wait(self, wait_ns: int, shard: Optional[int] = None) -> None:
         """Record how long a request sat in the server queue."""
         self.queue_wait.record(wait_ns)
         if self._metrics is not None:
             self._metrics.histogram(f"{self.name}.queue_wait_ns").record(wait_ns)
+        sub = self._shard(shard)
+        if sub is not None:
+            sub.note_queue_wait(wait_ns)
 
     # -- derived ----------------------------------------------------------------
     @property
@@ -207,8 +248,38 @@ class WorkloadStats:
         return (self.counters["shed"] + self.counters["expired"]
                 + self.counters["abandoned"])
 
+    def imbalance(self) -> Optional[float]:
+        """Peak-to-mean ratio of per-shard completions (1.0 = balanced).
+
+        ``None`` for unsharded runs or before any completion.  The ratio
+        reads as "the hottest shard carried X times its fair share" — the
+        quantity a consistent-hash ring pays under skewed keys and a
+        least-pending balancer flattens.
+        """
+        if not self.shards:
+            return None
+        completed = [s.counters["completed"] for s in self.shards]
+        mean = sum(completed) / len(completed)
+        if mean == 0:
+            return None
+        return max(completed) / mean
+
     def report(self) -> dict:
-        """The deterministic per-run report fragment."""
+        """The deterministic per-run report fragment.
+
+        Sharded runs add a ``shards`` list (one full report fragment per
+        shard) and the aggregate ``imbalance`` ratio; unsharded runs keep
+        the flat schema.
+        """
+        report = self._report_flat()
+        if self.shards:
+            report["shards"] = [s._report_flat() for s in self.shards]
+            imbalance = self.imbalance()
+            report["imbalance"] = (None if imbalance is None
+                                   else round(imbalance, 4))
+        return report
+
+    def _report_flat(self) -> dict:
         depths = [depth for _t, depth in self.queue_depth]
         return {
             "latency": self.latency.summary(),

@@ -1,0 +1,115 @@
+"""Stall detection measured in sim time, even when a fault slows the CPU.
+
+Regression for the backoff-counter bug: the MPI engine's blocking loops
+and ``Shmem._await`` used to accumulate only their idle-backoff time, so
+a ``CpuSlow`` episode — which inflates the sim time spent *inside* every
+``progress()`` pass — could postpone the ``stall_limit_ns`` check almost
+arbitrarily.  The clocks now compare ``env.now`` against the loop's last
+progress point, so detection fires within the limit (plus one idle-wait
+cap and one progress pass) no matter how slow the host runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.configs import PPRO_FM2
+from repro.core.common import FmParams
+from repro.faults import FaultPlan
+from repro.faults.plan import CpuSlow
+from repro.upper.mpi import build_mpi_world
+from repro.upper.mpi.status import MpiError
+from repro.upper.shmem import Shmem, ShmemError
+
+STALL_LIMIT_NS = 300_000
+#: Detection slop: one capped idle wait plus one (slowed) progress pass.
+#: Well under the old behaviour, which overshot by ~the slowdown factor.
+SLOP_NS = 150_000
+
+
+def make_cluster() -> Cluster:
+    return Cluster(2, machine=PPRO_FM2, fm_version=2,
+                   fm_params=FmParams(packet_payload=1024,
+                                      stall_limit_ns=STALL_LIMIT_NS))
+
+
+def slow_node(cluster: Cluster, node: int, factor: float = 50.0) -> None:
+    cluster.inject_faults(FaultPlan(seed=1, episodes=(
+        CpuSlow(node=node, factor=factor),)))
+
+
+class TestMpiStallUnderCpuSlow:
+    def test_starved_recv_fails_within_the_limit(self):
+        cluster = make_cluster()
+        slow_node(cluster, node=1)
+        comms = build_mpi_world(cluster)
+
+        def starved(node):
+            yield from comms[1].recv(0, 9)
+
+        with pytest.raises(MpiError, match="no progress"):
+            cluster.run([None, starved])
+        assert cluster.now <= STALL_LIMIT_NS + SLOP_NS
+
+    def test_detection_time_matches_the_unfaulted_run(self):
+        # The whole point: a 50x CPU slowdown must not stretch the
+        # detection deadline by 50x.  Both runs end within the same
+        # sim-time budget.
+        def starved_run(faulted: bool) -> int:
+            cluster = make_cluster()
+            if faulted:
+                slow_node(cluster, node=1)
+            comms = build_mpi_world(cluster)
+
+            def starved(node):
+                yield from comms[1].recv(0, 9)
+
+            with pytest.raises(MpiError):
+                cluster.run([None, starved])
+            return cluster.now
+
+        plain, faulted = starved_run(False), starved_run(True)
+        assert plain <= STALL_LIMIT_NS + SLOP_NS
+        assert faulted <= STALL_LIMIT_NS + SLOP_NS
+
+    def test_cts_wait_also_detects(self):
+        # Rendezvous sender whose receiver never posts: the CTS wait loop
+        # shares the same clock discipline.
+        cluster = make_cluster()
+        slow_node(cluster, node=0)
+        comms = build_mpi_world(cluster)
+
+        def sender(node):
+            yield from comms[0].send(bytes(64 * 1024), 1, 5)
+
+        def mute(node):
+            # Never posts, never progresses past the handshake.
+            yield cluster.env.timeout(10 * STALL_LIMIT_NS)
+
+        with pytest.raises(MpiError, match="CTS"):
+            cluster.run([sender, mute])
+        # The slowed send path runs *before* the wait-loop clock starts, so
+        # the bound is looser here — but nowhere near the old behaviour,
+        # where a 50x slowdown stretched detection towards 50x the limit.
+        assert cluster.now <= 2 * STALL_LIMIT_NS
+
+
+class TestShmemStallUnderCpuSlow:
+    def test_unserved_get_fails_within_the_limit(self):
+        cluster = make_cluster()
+        slow_node(cluster, node=0)
+        shmems = [Shmem(node, 2) for node in cluster.nodes]
+        for sh in shmems:
+            sh.register_region(1, 256)
+
+        def pe0(node):
+            # PE 1 runs no program, so nobody ever serves the get.
+            yield from shmems[0].get(1, 1, 0, 64)
+
+        with pytest.raises(ShmemError, match="stalled"):
+            cluster.run([pe0, None])
+        # As in the CTS case, the slowed GET send precedes the wait-loop
+        # clock; the bound stays a small multiple of the limit rather than
+        # a multiple of the slowdown factor.
+        assert cluster.now <= 2 * STALL_LIMIT_NS

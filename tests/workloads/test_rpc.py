@@ -113,6 +113,53 @@ class TestDeterminism:
         assert faulted["results"]["completed"] == 15
 
 
+class TestStaleResponses:
+    def test_late_responses_count_stale_and_requests_resolve_once(self):
+        """The deadline policy racing an abandoning client.
+
+        Every request is abandoned before its (slow, possibly expired)
+        response lands, so late responses must hit
+        ``RpcEndpoint.stale_responses`` — and client-side accounting must
+        still resolve each request exactly once (as ``abandoned``), never
+        double-counting the stale response as a completion or drop.
+        """
+        from repro.cluster.cluster import Cluster
+        from repro.configs import PPRO_FM2
+        from repro.workloads.arrivals import ClosedLoop
+        from repro.workloads.rpc import RpcClient, RpcEndpoint, RpcServer
+        from repro.workloads.stats import WorkloadStats
+
+        cluster = Cluster(2, machine=PPRO_FM2, fm_version=2)
+        stats = WorkloadStats(cluster.env, name="stale")
+        endpoints = [RpcEndpoint(node, stats) for node in cluster.nodes]
+        server = RpcServer(endpoints[0], stats, workers=1,
+                           queue_capacity=8, policy="deadline")
+        server.start()
+        # 50us of service against a 30us deadline and a 10us abandonment:
+        # the client walks away long before any response (OK for the first
+        # request, EXPIRED for queued ones) can land — but keeps issuing,
+        # so its pump is still extracting when the late responses arrive.
+        client = RpcClient(endpoints[1], 0, arrivals=ClosedLoop(0), seed=2,
+                           n_requests=8, work_ns=50_000, deadline_ns=30_000,
+                           abandon_after_ns=10_000)
+        cluster.run([None, lambda node: client.run()])
+
+        endpoint = endpoints[1]
+        assert endpoint.stale_responses >= 1
+        assert not endpoint.pending          # nothing leaked
+        counters = stats.counters
+        assert counters["sent"] == 8
+        assert counters["abandoned"] == 8
+        # Exactly-once accounting: a stale response must not also count as
+        # a completion, shed, or expiry.
+        assert counters["completed"] == 0
+        assert counters["shed"] == 0
+        assert counters["expired"] == 0
+        assert stats.latency.count == 0
+        assert (counters["completed"] + stats.drops()
+                == counters["sent"])
+
+
 class TestMpiKinds:
     def test_halo_records_every_iteration(self):
         results = run_scenario(Scenario(
