@@ -22,6 +22,7 @@ from repro.bench.selfperf import (
     build_document,
     kernel_workload,
     measure,
+    stack_obs_workload,
     stack_workload,
     write_selfperf,
 )
@@ -66,6 +67,30 @@ def test_full_stack_simulation_throughput(benchmark):
     # One bandwidth point (60 messages, full FM2 protocol, 2 nodes) should
     # cost no more than ~3x the calibration loop.
     assert benchmark.stats.stats.mean < 3.0 * _calibration_seconds()
+
+
+def test_observability_overhead_bounded(benchmark):
+    """Full observability may cost wall time, but only a bounded factor.
+
+    The obs-on stack workload (identical traffic, observer attached) is
+    gated machine-relative like everything else here; separately, its min
+    wall time must stay within 4x the obs-off run measured in the same
+    session — recording spans/metrics must never dominate simulation.
+    """
+    simulated_ns, packets = benchmark.pedantic(
+        stack_obs_workload, rounds=3, iterations=1, warmup_rounds=1)
+    assert simulated_ns > 0
+    assert packets >= 60
+    assert benchmark.stats.stats.mean < 6.0 * _calibration_seconds()
+
+    best_plain = float("inf")
+    for _ in range(3):
+        t0 = perf_counter()
+        plain_ns, _count = stack_workload()
+        best_plain = min(best_plain, perf_counter() - t0)
+    # Zero *simulated* cost is exact; wall cost is allowed but bounded.
+    assert plain_ns == simulated_ns
+    assert benchmark.stats.stats.min < 4.0 * best_plain
 
 
 def test_selfperf_baseline_regenerated():

@@ -101,6 +101,21 @@ def stack_workload() -> tuple[int, int]:
     return cluster.env.now, packets
 
 
+def stack_obs_workload() -> tuple[int, int]:
+    """The stack workload with full observability attached.
+
+    Identical traffic to :func:`stack_workload` but with the observer on
+    (spans, metrics, trace contexts all recording), so the wall-time ratio
+    against the plain run *is* the observability overhead — the cost the
+    zero-cost invariant allows (wall time only, never simulated results).
+    """
+    cluster = Cluster(2, machine=PPRO_FM2, fm_version=2)
+    cluster.observe()
+    fm_stream(cluster, 1024, n_messages=60)
+    packets = sum(node.nic.sent_packets for node in cluster.nodes)
+    return cluster.env.now, packets
+
+
 # -- measurement ---------------------------------------------------------------
 def _time_min(fn: Callable[[], tuple[int, int]], repeats: int) -> tuple[float, int]:
     """Minimum wall seconds over ``repeats`` runs (after one warmup)."""
@@ -117,9 +132,10 @@ def _time_min(fn: Callable[[], tuple[int, int]], repeats: int) -> tuple[float, i
 
 
 def measure(repeats: int = 5) -> dict:
-    """Measure both workloads; returns the ``current`` document section."""
+    """Measure all workloads; returns the ``current`` document section."""
     kernel_s, kernel_events = _time_min(kernel_workload, repeats)
     stack_s, stack_packets = _time_min(stack_workload, repeats)
+    obs_s, obs_packets = _time_min(stack_obs_workload, repeats)
     return {
         "kernel": {
             "events": kernel_events,
@@ -130,6 +146,14 @@ def measure(repeats: int = 5) -> dict:
             "packets": stack_packets,
             "min_seconds": round(stack_s, 4),
             "packets_per_sec": int(stack_packets / stack_s),
+        },
+        "stack_obs": {
+            "packets": obs_packets,
+            "min_seconds": round(obs_s, 4),
+            "packets_per_sec": int(obs_packets / obs_s),
+            # Wall-time cost of full observability on identical traffic;
+            # gated machine-relative by benchmarks/.
+            "obs_overhead": round(obs_s / stack_s, 2),
         },
     }
 
@@ -150,7 +174,9 @@ def build_document(current: dict) -> dict:
         "protocol": (
             "min wall time over N repeats after 1 warmup; kernel = "
             "producer/3-relay/consumer chain (~36k processed events); stack = "
-            "60x1KB FM2 messages on a 2-node PPRO cluster"
+            "60x1KB FM2 messages on a 2-node PPRO cluster; stack_obs = the "
+            "same traffic with the observer attached (obs_overhead = wall-"
+            "time ratio vs stack)"
         ),
     }
 

@@ -259,6 +259,13 @@ class FmEndpoint:
         self.fabric.stamp_route(packet)
         obs = self.env.obs
         t0 = self.env.now
+        if obs is not None:
+            # The single packet-injection chokepoint: every FM1/FM2 data or
+            # control packet passes here, so stamping the sender's bound
+            # trace context (if any) covers all send paths at once.
+            ctx = obs.current()
+            if ctx is not None:
+                packet.trace = ctx
         yield from self.bus.pio_write(self.cpu, nbytes)
         yield from self.nic.submit(packet)
         self.stats_sent_packets += 1

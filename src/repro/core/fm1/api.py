@@ -218,9 +218,22 @@ class FM1(FmEndpoint):
         handler = self.handlers.lookup(entry.handler_id)
         t_handler = self.env.now
         yield from self.cpu.call()
-        yield from handler(self, header.src, entry.staging, entry.msg_bytes)
+        if obs is not None and packet.trace is not None:
+            # FM 1.x runs handlers inline in the extract process: bind the
+            # packet's trace context around the call (and restore the
+            # pump's own binding after) so the handler's spans — and any
+            # response it sends — join the originating request's tree.
+            prev = obs.bind(packet.trace)
+            try:
+                yield from handler(self, header.src, entry.staging,
+                                   entry.msg_bytes)
+            finally:
+                obs.bind(prev)
+        else:
+            yield from handler(self, header.src, entry.staging,
+                               entry.msg_bytes)
         if obs is not None:
             obs.span("app", "handler", t_handler,
-                     track=f"node{self.node_id}/app", src=header.src,
-                     bytes=entry.msg_bytes)
+                     track=f"node{self.node_id}/app", ctx=packet.trace,
+                     src=header.src, bytes=entry.msg_bytes)
         return 1

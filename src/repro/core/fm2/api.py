@@ -161,6 +161,11 @@ class FM2(FmEndpoint):
                 handler(self, stream, header.src),
                 name=f"fm2.handler[{self.node_id}]{key}",
             )
+            if obs is not None:
+                # FM 2.x handlers run as their own processes: seed the new
+                # process with the first packet's trace context so every
+                # span it records joins the originating request's tree.
+                obs.bind_process(stream.handler_process, packet.trace)
         yield from stream.feed(packet)
 
         if stream.complete and stream.handler_finished:

@@ -140,6 +140,7 @@ class Nic:
             if obs is not None:
                 obs.span("nic", "tx_firmware", t0,
                          track=f"node{self.node_id}/nic.tx",
+                         ctx=packet.trace,
                          dest=packet.header.dest, seq=packet.header.seq,
                          bytes=packet.wire_bytes)
             yield self.tx_link.ingress.put(packet)
@@ -178,6 +179,7 @@ class Nic:
                 if obs is not None:
                     obs.span("nic", "credit_absorb", t0,
                              track=f"node{self.node_id}/nic.rx", src=peer,
+                             ctx=packet.trace,
                              credits=packet.header.credit_return)
                 continue
             yield from self.recv_dma.transfer(packet.wire_bytes)
@@ -186,6 +188,7 @@ class Nic:
             if obs is not None:
                 obs.span("nic", "rx_dma", t0,
                          track=f"node{self.node_id}/nic.rx",
+                         ctx=packet.trace,
                          src=packet.header.src, seq=packet.header.seq,
                          bytes=packet.wire_bytes)
                 obs.metrics.histogram("nic.recv_region_depth",

@@ -18,6 +18,10 @@ from __future__ import annotations
 import zlib
 from dataclasses import dataclass, field
 from enum import IntFlag
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.span import TraceContext
 
 
 #: Bytes of header on the wire.  FM 1.1's real header was ~12-16 bytes;
@@ -79,6 +83,11 @@ class Packet:
     moves through the system — NIC injection, link transit, switch
     forwarding, DMA arrival, extraction — enabling per-stage latency
     attribution (see ``repro.bench.journey``).
+
+    ``trace`` is the causal :class:`~repro.obs.span.TraceContext` stamped
+    at injection time when an observer is attached and the sending process
+    is working on behalf of a traced request.  It is host-side metadata
+    only: it adds no wire bytes and never influences simulated behaviour.
     """
 
     header: PacketHeader
@@ -86,6 +95,7 @@ class Packet:
     route: list[int] = field(default_factory=list)
     crc: int = 0
     waypoints: list[tuple[str, int]] = field(default_factory=list)
+    trace: Optional["TraceContext"] = None
 
     def __post_init__(self) -> None:
         # Packet construction is the single snapshot point of the send path:

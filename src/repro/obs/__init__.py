@@ -5,16 +5,24 @@ as a message crosses layer interfaces.  This package makes that a first-
 class capability of the simulator for arbitrary traffic:
 
 * :mod:`repro.obs.span` — ``Span(layer, name, t_start, t_end, attrs)``
-  records emitted at every instrumented layer crossing;
+  records emitted at every instrumented layer crossing, now carrying an
+  optional ``(trace_id, span_id, parent_id)`` causal identity;
 * :mod:`repro.obs.observer` — the ``env.obs`` hook instrumented code
-  reports to (off by default, zero simulated-time cost, deterministic);
+  reports to (off by default, zero simulated-time cost, deterministic),
+  including :class:`~repro.obs.span.TraceContext` minting / binding for
+  end-to-end request tracing;
 * :mod:`repro.obs.metrics` — named histograms, windowed rate meters, and
   the pre-existing ``Counters`` / ``CopyMeter`` primitives federated under
   one per-cluster registry;
+* :mod:`repro.obs.timeseries` — windowed time series (rates, gauges,
+  quantiles) sampled at fixed simulated-time intervals;
+* :mod:`repro.obs.slo` — declarative SLOs with error-budget burn-rate
+  detection over those windows;
 * :mod:`repro.obs.export` — Perfetto / Chrome trace-event JSON export
-  (open any run in ``ui.perfetto.dev``);
+  with causal flow arrows (open any run in ``ui.perfetto.dev``);
 * :mod:`repro.obs.report` — the per-stage breakdown report CLI
-  (``python -m repro.obs.report <scenario>``).
+  (``python -m repro.obs.report <scenario>``), plus per-request
+  waterfalls / critical paths for traced rpc scenarios.
 
 Quickstart::
 
@@ -29,27 +37,57 @@ from repro.obs.export import (
     dumps_deterministic,
     distinct_tracks,
     export_trace,
+    flow_pid_pairs,
     trace_events,
     validate_trace_events,
 )
 from repro.obs.metrics import Histogram, Metrics, RateMeter
 from repro.obs.observer import Observer
-from repro.obs.span import LAYER_ORDER, Span
-
-# repro.obs.report is deliberately NOT re-exported here: importing it at
-# package level makes ``python -m repro.obs.report`` warn about the module
-# being loaded twice (runpy).  Import it directly where needed.
+from repro.obs.slo import BurnRateDetector, SloEvent, SloSpec, evaluate_slos
+from repro.obs.span import LAYER_ORDER, Span, TraceContext
+from repro.obs.timeseries import (
+    GaugeSeries,
+    QuantileSeries,
+    RateSeries,
+    TimeSeriesBank,
+)
 
 __all__ = [
+    "BurnRateDetector",
+    "GaugeSeries",
     "Histogram",
     "LAYER_ORDER",
     "Metrics",
     "Observer",
+    "QuantileSeries",
     "RateMeter",
+    "RateSeries",
+    "SloEvent",
+    "SloSpec",
     "Span",
+    "TimeSeriesBank",
+    "TraceContext",
     "distinct_tracks",
     "dumps_deterministic",
+    "evaluate_slos",
     "export_trace",
+    "flow_pid_pairs",
+    "report",
     "trace_events",
     "validate_trace_events",
 ]
+
+
+def __getattr__(name: str):
+    """Lazy ``repro.obs.report`` access.
+
+    Importing :mod:`repro.obs.report` eagerly would make ``python -m
+    repro.obs.report`` warn about the module being found in
+    ``sys.modules`` before execution (runpy double-import); the module-
+    level ``__main__`` shim (``python -m repro.obs``) plus this lazy hook
+    give both spellings without the wart.
+    """
+    if name == "report":
+        import repro.obs.report as report
+        return report
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,17 @@
+"""``python -m repro.obs`` — the breakdown-report CLI, without the wart.
+
+``python -m repro.obs.report`` works but trips runpy's "found in
+sys.modules after import" warning whenever anything has already imported
+the report module.  This shim is the clean spelling: runpy executes
+``repro.obs.__main__`` fresh, the report module is imported normally, and
+no double-import occurs.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.obs.report import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,7 +9,13 @@ trace-event format:
 * ``"X"`` (complete) events — one per span, ``ts``/``dur`` in microseconds
   as the format requires (fractional, since our clock is nanoseconds);
 * ``"M"`` (metadata) events — ``process_name`` / ``thread_name`` so the UI
-  shows component names instead of bare ids.
+  shows component names instead of bare ids;
+* ``"s"`` / ``"f"`` (flow) events — causal arrows between spans of one
+  request trace that live on *different processes* (i.e. different
+  nodes), so a traced RPC renders as arrows from the client's send down
+  through the server's NIC, handler, and back.  Same-process parentage is
+  left to the ``parent_id`` args (arrows between adjacent rows are
+  noise).
 
 Output is canonical: events are sorted, keys are sorted, and the encoder
 is configured so that two identical runs produce **byte-identical** files
@@ -71,6 +77,12 @@ def trace_events(spans: Iterable[Span]) -> dict:
 
     for span in spans:
         process, thread = split_track(span.track)
+        args = dict(span.attrs)
+        if span.trace_id is not None:
+            args["trace_id"] = span.trace_id
+            args["span_id"] = span.span_id
+            if span.parent_id is not None:
+                args["parent_id"] = span.parent_id
         events.append({
             "ph": "X",
             "name": span.name,
@@ -79,18 +91,54 @@ def trace_events(spans: Iterable[Span]) -> dict:
             "dur": span.duration_ns / 1000,
             "pid": pids[process],
             "tid": tids[(process, thread)],
-            "args": dict(span.attrs),
+            "args": args,
         })
 
+    events.extend(_flow_events(spans, pids, tids))
     events.sort(key=_event_sort_key)
     return {"traceEvents": events, "displayTimeUnit": "ns"}
+
+
+def _flow_events(spans: list[Span], pids: dict, tids: dict) -> list[dict]:
+    """Perfetto flow arrows for cross-process parent -> child span edges.
+
+    One ``s``/``f`` pair per edge, tied by ``id`` (the child's span id —
+    unique per observer, so arrows never merge).  The start event must sit
+    inside the parent slice for the UI to attach it, so its ``ts`` is the
+    child's start clamped into the parent's interval; the finish event
+    (``bp: "e"``, "enclosing slice") lands at the child's start.
+    """
+    by_id = {s.span_id: s for s in spans if s.span_id}
+    flows: list[dict] = []
+    for span in spans:
+        if span.parent_id is None:
+            continue
+        parent = by_id.get(span.parent_id)
+        if parent is None:
+            continue
+        p_process, p_thread = split_track(parent.track)
+        c_process, c_thread = split_track(span.track)
+        if p_process == c_process:
+            continue
+        t_bind = min(max(span.t_start, parent.t_start), parent.t_end)
+        flows.append({
+            "ph": "s", "id": span.span_id, "name": "trace",
+            "cat": "trace", "ts": t_bind / 1000,
+            "pid": pids[p_process], "tid": tids[(p_process, p_thread)],
+        })
+        flows.append({
+            "ph": "f", "bp": "e", "id": span.span_id, "name": "trace",
+            "cat": "trace", "ts": span.t_start / 1000,
+            "pid": pids[c_process], "tid": tids[(c_process, c_thread)],
+        })
+    return flows
 
 
 def _event_sort_key(event: dict) -> tuple:
     # Metadata first, then by time/track/name — a canonical total order.
     return (0 if event["ph"] == "M" else 1, event.get("ts", 0.0),
-            event["pid"], event["tid"], event["name"],
-            event.get("dur", 0.0))
+            event["pid"], event["tid"], event["ph"], event["name"],
+            event.get("dur", 0.0), event.get("id", 0))
 
 
 def export_trace(observer: "Observer", path: str | Path) -> Path:
@@ -105,6 +153,20 @@ def distinct_tracks(trace: dict) -> int:
     """Number of distinct (pid, tid) timeline rows carrying "X" events."""
     return len({(e["pid"], e["tid"]) for e in trace["traceEvents"]
                 if e["ph"] == "X"})
+
+
+def flow_pid_pairs(trace: dict) -> set[tuple[int, int]]:
+    """Distinct (source pid, destination pid) pairs linked by flow arrows.
+
+    The cross-node acceptance check: a traced RPC run must show at least
+    one pair with differing pids (the exporter only emits cross-process
+    flows, so any pair qualifies — this helper makes the assertion
+    self-contained).
+    """
+    starts = {e["id"]: e["pid"] for e in trace["traceEvents"]
+              if e["ph"] == "s"}
+    return {(starts[e["id"]], e["pid"]) for e in trace["traceEvents"]
+            if e["ph"] == "f" and e["id"] in starts}
 
 
 def validate_trace_events(trace: dict) -> None:
@@ -123,13 +185,25 @@ def validate_trace_events(trace: dict) -> None:
         if not isinstance(event, dict):
             raise ValueError(f"{where} is not an object")
         ph = event.get("ph")
-        if ph not in ("X", "M"):
-            raise ValueError(f"{where}.ph must be 'X' or 'M', got {ph!r}")
+        if ph not in ("X", "M", "s", "f"):
+            raise ValueError(
+                f"{where}.ph must be one of 'X', 'M', 's', 'f', got {ph!r}")
         if not isinstance(event.get("name"), str) or not event["name"]:
             raise ValueError(f"{where}.name must be a non-empty string")
         for id_field in ("pid", "tid"):
             if not isinstance(event.get(id_field), int):
                 raise ValueError(f"{where}.{id_field} must be an int")
+        if ph in ("s", "f"):
+            if not isinstance(event.get("id"), int) or event["id"] < 1:
+                raise ValueError(f"{where}.id must be a positive int")
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                raise ValueError(
+                    f"{where}.ts must be a non-negative number, got {ts!r}")
+            if ph == "f" and event.get("bp") != "e":
+                raise ValueError(f"{where}: flow finish must bind with "
+                                 f"bp='e', got {event.get('bp')!r}")
+            continue
         if ph == "M":
             if event["name"] not in ("process_name", "thread_name"):
                 raise ValueError(f"{where}: unknown metadata {event['name']!r}")
@@ -148,3 +222,9 @@ def validate_trace_events(trace: dict) -> None:
             raise ValueError(f"{where}.cat must be a non-empty string")
         if not isinstance(event.get("args"), dict):
             raise ValueError(f"{where}.args must be an object")
+    starts = sorted(e["id"] for e in events if e.get("ph") == "s")
+    ends = sorted(e["id"] for e in events if e.get("ph") == "f")
+    if starts != ends:
+        raise ValueError("flow start/finish events do not pair up by id")
+    if len(set(starts)) != len(starts):
+        raise ValueError("duplicate flow ids (arrows would merge)")

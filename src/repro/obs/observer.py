@@ -21,6 +21,17 @@ Contract with the instrumentation sites (enforced by design, pinned by
 The observer composes with (and is independent of) the event-granularity
 :class:`~repro.simkernel.trace.Tracer`: ``env.trace`` sees every kernel
 event, ``env.obs`` sees semantic intervals.
+
+**Causal tracing.**  The observer also owns the trace-context machinery:
+:meth:`Observer.mint_trace` starts a request tree, :meth:`Observer.bind`
+attaches a :class:`~repro.obs.span.TraceContext` to the *currently
+running* simulation process (a discrete-event simulator has no threads,
+so the active process is the natural carrier), :meth:`Observer.derive`
+forks a child hop on a remote node, and :meth:`Observer.bind_process`
+seeds a freshly spawned handler process with the context carried by the
+packet that started it.  Spans recorded while a context is bound join
+the request's tree automatically; span ids are allocated from one
+deterministic counter, so two identical runs build identical trees.
 """
 
 from __future__ import annotations
@@ -28,7 +39,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Optional
 
 from repro.obs.metrics import Metrics
-from repro.obs.span import Span
+from repro.obs.span import Span, TraceContext
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hardware.packet import Packet
@@ -42,6 +53,10 @@ class Observer:
         self.env: Optional["Environment"] = None
         self.spans: list[Span] = []
         self.metrics = metrics if metrics is not None else Metrics()
+        self._next_span_id = 0
+        self._next_trace_id = 0
+        # Process -> bound TraceContext (see the module doc).
+        self._bound: dict[Any, TraceContext] = {}
 
     # -- lifecycle ------------------------------------------------------------
     def attach(self, env: "Environment") -> "Observer":
@@ -57,15 +72,88 @@ class Observer:
         if env.obs is self:
             env.obs = None
 
+    # -- causal trace contexts -------------------------------------------------
+    def _alloc_span_id(self) -> int:
+        self._next_span_id += 1
+        return self._next_span_id
+
+    def mint_trace(self) -> TraceContext:
+        """Start a new request tree: fresh trace id + pre-allocated root
+        span id.  The minting site records the root span later (when the
+        request resolves) by passing ``span_id=ctx.span_id`` to
+        :meth:`span`, so children recorded in between still link to it."""
+        self._next_trace_id += 1
+        return TraceContext(self._next_trace_id, self._alloc_span_id())
+
+    def derive(self, ctx: TraceContext) -> TraceContext:
+        """Fork a child hop of ``ctx``: same trace, fresh span id.
+
+        Used where the request changes hands (e.g. a server starting work
+        on a client's request): spans recorded under the derived context
+        parent to the hop span instead of the root."""
+        return TraceContext(ctx.trace_id, self._alloc_span_id())
+
+    def bind(self, ctx: Optional[TraceContext]) -> Optional[TraceContext]:
+        """Bind ``ctx`` to the active process; returns the previous binding
+        so callers can restore it (``None`` clears the binding).
+
+        Typical use wraps a send path in ``prev = obs.bind(ctx)`` /
+        ``obs.bind(prev)`` so every span the send emits joins the trace."""
+        env = self.env
+        proc = env.active_process if env is not None else None
+        if proc is None:
+            return None
+        prev = self._bound.get(proc)
+        if ctx is None:
+            self._bound.pop(proc, None)
+        else:
+            self._bound[proc] = ctx
+        return prev
+
+    def bind_process(self, process: Any, ctx: Optional[TraceContext]) -> None:
+        """Seed a (possibly not-yet-running) process with ``ctx`` — how the
+        FM 2.x extract path hands the packet's context to the handler
+        process it spawns."""
+        if ctx is not None:
+            self._bound[process] = ctx
+
+    def current(self) -> Optional[TraceContext]:
+        """The context bound to the currently running process, if any."""
+        env = self.env
+        if env is None:
+            return None
+        proc = env.active_process
+        if proc is None:
+            return None
+        return self._bound.get(proc)
+
     # -- recording --------------------------------------------------------------
     def span(self, layer: str, name: str, t_start: int,
              t_end: Optional[int] = None, track: str = "",
-             **attrs: Any) -> Span:
-        """Record a completed interval; ``t_end`` defaults to ``env.now``."""
+             ctx: Optional[TraceContext] = None,
+             span_id: Optional[int] = None, **attrs: Any) -> Span:
+        """Record a completed interval; ``t_end`` defaults to ``env.now``.
+
+        Causal linkage: ``ctx`` defaults to the active process's bound
+        context (:meth:`current`); when one applies, the span joins that
+        trace with a freshly allocated ``span_id`` and ``parent_id =
+        ctx.span_id``.  Pass ``span_id`` explicitly to record a span whose
+        id was pre-allocated at mint/derive time (the root and hop spans),
+        in which case the span parents to ``ctx`` only if the ids differ.
+        """
         if t_end is None:
             assert self.env is not None, "span() before attach()"
             t_end = self.env.now
-        span = Span(layer, name, t_start, t_end, track, attrs)
+        if ctx is None:
+            ctx = self.current()
+        sid = self._alloc_span_id() if span_id is None else span_id
+        trace_id = parent_id = None
+        if ctx is not None:
+            trace_id = ctx.trace_id
+            if ctx.span_id != sid:
+                parent_id = ctx.span_id
+        span = Span(layer, name, t_start, t_end, track, attrs,
+                    trace_id, sid, parent_id)
         self.spans.append(span)
         return span
 
@@ -105,6 +193,15 @@ class Observer:
     def tracks(self) -> list[str]:
         """Sorted distinct component tracks that emitted at least one span."""
         return sorted({s.track for s in self.spans})
+
+    def trace_ids(self) -> list[int]:
+        """Sorted distinct trace ids that recorded at least one span."""
+        return sorted({s.trace_id for s in self.spans
+                       if s.trace_id is not None})
+
+    def spans_for_trace(self, trace_id: int) -> list[Span]:
+        """All spans of one request tree, in recording (event) order."""
+        return [s for s in self.spans if s.trace_id == trace_id]
 
     def __len__(self) -> int:
         return len(self.spans)

@@ -11,11 +11,18 @@ benchmark scenarios: run a scenario with full observability on, then print
 * credit-stall counts and stalled nanoseconds;
 * a span summary per (layer, operation) and per-link delivered rates.
 
+For the rpc scenarios (which mint per-request trace contexts) the report
+can also reconstruct causal request trees: :func:`request_roots` finds
+every traced request, :func:`critical_path` extracts the chain of
+last-finishing spans under a root, and :func:`render_waterfall` draws a
+per-request waterfall with the critical path highlighted.
+
 Command line::
 
     python -m repro.obs.report journey-fm2
     python -m repro.obs.report stream-fm2 --msg-bytes 2048 --messages 40 \
         --trace out/stream.json      # also export a Perfetto trace
+    python -m repro.obs.report rpc-sharded --waterfall 2
 """
 
 from __future__ import annotations
@@ -30,7 +37,7 @@ from repro.cluster.cluster import Cluster
 from repro.configs import PPRO_FM2, SPARC_FM1
 from repro.obs.export import export_trace
 from repro.obs.observer import Observer
-from repro.obs.span import layer_rank
+from repro.obs.span import Span, layer_rank
 
 
 @dataclass
@@ -125,6 +132,82 @@ class BreakdownReport:
         return out
 
 
+# -- causal request trees -------------------------------------------------------
+
+def request_roots(obs: Observer) -> list[Span]:
+    """Every traced request's root span, in start order.
+
+    A root is a span that carries a trace id but no parent — the
+    client-side ``rpc.request`` interval minted by
+    :meth:`~repro.workloads.rpc.RpcClient.send_request`.
+    """
+    return sorted((s for s in obs.spans
+                   if s.trace_id is not None and s.parent_id is None),
+                  key=lambda s: (s.t_start, s.span_id))
+
+
+def trace_children(obs: Observer, trace_id: int) -> dict[int, list[Span]]:
+    """parent span id -> children (start-ordered) for one trace."""
+    children: dict[int, list[Span]] = {}
+    for span in obs.spans_for_trace(trace_id):
+        if span.parent_id is not None:
+            children.setdefault(span.parent_id, []).append(span)
+    for kids in children.values():
+        kids.sort(key=lambda s: (s.t_start, s.span_id))
+    return children
+
+
+def critical_path(obs: Observer, root: Span) -> list[Span]:
+    """The chain of last-finishing spans from ``root`` down to a leaf.
+
+    At each level the child with the greatest ``t_end`` is the one the
+    request actually waited for; descending through those children yields
+    the causal critical path (ties break deterministically by span id).
+    """
+    children = trace_children(obs, root.trace_id)
+    path = [root]
+    node = root
+    while True:
+        kids = children.get(node.span_id)
+        if not kids:
+            return path
+        node = max(kids, key=lambda s: (s.t_end, s.span_id))
+        path.append(node)
+
+
+def render_waterfall(obs: Observer, root: Span, bar_width: int = 40) -> str:
+    """Fixed-width waterfall of one request's span tree.
+
+    One row per span, indented by tree depth, with offset/duration in ns
+    and a timeline bar scaled to the root's interval; critical-path spans
+    draw with ``=``, everything else with ``-``.
+    """
+    children = trace_children(obs, root.trace_id)
+    on_path = {s.span_id for s in critical_path(obs, root)}
+    t0, total = root.t_start, max(1, root.duration_ns)
+    attrs = " ".join(f"{k}={v}" for k, v in sorted(root.attrs.items()))
+    lines = [f"trace {root.trace_id}: {root.name} [{attrs}] "
+             f"{root.duration_ns} ns on {root.track}",
+             f"{'span':<36}{'offset':>9}{'dur ns':>9}  timeline "
+             f"(= critical path)"]
+
+    def emit(span: Span, depth: int) -> None:
+        offset = span.t_start - t0
+        left = min(bar_width - 1, max(0, bar_width * offset // total))
+        run = max(1, bar_width * span.duration_ns // total)
+        run = min(run, bar_width - left)
+        mark = "=" if span.span_id in on_path else "-"
+        bar = " " * left + mark * run
+        name = "  " * depth + f"{span.layer}/{span.name}"
+        lines.append(f"{name:<36}{offset:>9}{span.duration_ns:>9}  "
+                     f"|{bar:<{bar_width}}|")
+        for kid in children.get(span.span_id, ()):
+            emit(kid, depth + 1)
+
+    emit(root, 0)
+    return "\n".join(lines)
+
+
 # -- scenarios ------------------------------------------------------------------
 
 def _journey(machine, fm_version: int, msg_bytes: int, label: str,
@@ -162,6 +245,22 @@ def _mpi_stream(machine, fm_version: int, msg_bytes: int, label: str,
     return BreakdownReport(label, cluster, observer)
 
 
+def _rpc(machine, fm_version: int, msg_bytes: int, label: str,
+         n_messages: int) -> BreakdownReport:
+    # Traced RPC workload: every request carries a TraceContext, so the
+    # report can render per-request waterfalls and critical paths.
+    from repro.workloads.runner import Scenario, execute_scenario
+    sharded = label == "rpc-sharded"
+    scenario = Scenario(
+        name=label, kind="rpc", fm_version=fm_version,
+        machine="ppro" if machine is PPRO_FM2 else "sparc",
+        n_nodes=10 if sharded else 4, servers=4 if sharded else 1,
+        rate_rps=40_000.0, n_requests=n_messages,
+        req_bytes=msg_bytes, resp_bytes=msg_bytes, work_ns=2_000)
+    outcome = execute_scenario(scenario, observe=True)
+    return BreakdownReport(label, outcome.cluster, outcome.observer)
+
+
 #: scenario name -> (builder, machine, fm version, default bytes, default count)
 SCENARIOS: dict[str, tuple[Callable, object, int, int, int]] = {
     "journey-fm1": (_journey, SPARC_FM1, 1, 16, 1),
@@ -170,6 +269,8 @@ SCENARIOS: dict[str, tuple[Callable, object, int, int, int]] = {
     "stream-fm2": (_stream, PPRO_FM2, 2, 1024, 40),
     "pingpong-fm2": (_pingpong, PPRO_FM2, 2, 16, 20),
     "mpi-stream-fm2": (_mpi_stream, PPRO_FM2, 2, 1024, 30),
+    "rpc-fm2": (_rpc, PPRO_FM2, 2, 64, 20),
+    "rpc-sharded": (_rpc, PPRO_FM2, 2, 256, 20),
 }
 
 
@@ -199,11 +300,24 @@ def main(argv: Optional[list[str]] = None) -> int:
                         help="message / iteration count")
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="also export a Perfetto trace-event JSON file")
+    parser.add_argument("--waterfall", type=int, default=0, metavar="N",
+                        help="render per-request waterfalls for the first "
+                             "N traced requests (rpc scenarios)")
     args = parser.parse_args(argv)
 
     report = run_scenario(args.scenario, msg_bytes=args.msg_bytes,
                           n_messages=args.messages)
     print(report.render())
+    if args.waterfall:
+        roots = request_roots(report.obs)
+        if not roots:
+            print("\nno traced requests (use an rpc scenario for waterfalls)")
+        for root in roots[:args.waterfall]:
+            print()
+            print(render_waterfall(report.obs, root))
+            path = critical_path(report.obs, root)
+            steps = " -> ".join(f"{s.layer}/{s.name}" for s in path)
+            print(f"critical path: {steps}")
     if args.trace:
         path = export_trace(report.obs, args.trace)
         print(f"\ntrace written to {path} (open in ui.perfetto.dev)")

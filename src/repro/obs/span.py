@@ -11,12 +11,21 @@ when off and **never** costs simulated time when on.
 Layer names used by the built-in instrumentation, top to bottom::
 
     app > mpi | sockets | shmem | ga > fm > nic > fabric (link/switch)
+
+Spans optionally carry **causal identity**: a ``trace_id`` naming the
+request (or other unit of work) the span belongs to, a per-observer unique
+``span_id``, and a ``parent_id`` linking to the causally preceding span.
+Instrumented code never fills these by hand — it binds a
+:class:`TraceContext` on the observer (see
+:mod:`repro.obs.observer`) and every span recorded under that binding
+joins the request's tree, across FM sends, NIC packets, and remote
+handlers on other nodes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Optional
 
 #: Canonical layer order, top of the stack first (used for report sorting).
 LAYER_ORDER: tuple[str, ...] = (
@@ -32,6 +41,22 @@ def layer_rank(layer: str) -> int:
         return len(LAYER_ORDER)
 
 
+@dataclass(frozen=True)
+class TraceContext:
+    """The causal identity carried along one request's journey.
+
+    ``trace_id`` names the whole request tree; ``span_id`` is the span the
+    *next* recorded span should parent to (the root span at mint time, a
+    hop span after :meth:`~repro.obs.observer.Observer.derive`).  Contexts
+    are host-side bookkeeping only — they ride :class:`Packet
+    <repro.hardware.packet.Packet>` objects without wire cost and never
+    change simulated results.
+    """
+
+    trace_id: int
+    span_id: int
+
+
 @dataclass
 class Span:
     """One timed interval on one component track.
@@ -40,6 +65,11 @@ class Span:
     Perfetto exporter turns each distinct track into its own timeline row.
     ``attrs`` carries operation details (byte counts, peers, sequence
     numbers) and must hold only JSON-serialisable scalars.
+
+    ``trace_id`` / ``span_id`` / ``parent_id`` are the causal-tracing
+    fields: ``None`` / ``0`` / ``None`` for spans recorded outside any
+    request context (the pre-tracing behaviour), and a per-request tree
+    otherwise (see :class:`TraceContext`).
     """
 
     layer: str
@@ -48,6 +78,9 @@ class Span:
     t_end: int
     track: str = ""
     attrs: dict[str, Any] = field(default_factory=dict)
+    trace_id: Optional[int] = None
+    span_id: int = 0
+    parent_id: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.t_end < self.t_start:

@@ -53,11 +53,15 @@ from repro.workloads.stats import WorkloadStats
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.node import Node
+    from repro.obs.span import TraceContext
 
 #: Response status codes.
 RPC_OK = 0
 RPC_SHED = 1
 RPC_EXPIRED = 2
+
+#: Human-readable span attribute per status code.
+STATUS_NAMES = {RPC_OK: "ok", RPC_SHED: "shed", RPC_EXPIRED: "expired"}
 
 #: Request wire header: req_id, absolute deadline (ns, 0 = none),
 #: service demand (ns), payload length.
@@ -73,7 +77,14 @@ VALID_POLICIES = ("queue", "shed", "deadline")
 
 @dataclass
 class Request:
-    """One request as the server sees it (parsed off the wire)."""
+    """One request as the server sees it (parsed off the wire).
+
+    ``trace`` is the server-side hop context (derived from the client's
+    request context when the run is observed): the server binds it while
+    serving so its queue/compute/response spans parent to the hop span,
+    which in turn parents to the client's root ``rpc.request`` span
+    (``trace_parent``).  Both are ``None`` when unobserved or untraced.
+    """
 
     req_id: int
     src: int
@@ -81,6 +92,8 @@ class Request:
     work_ns: int
     payload_len: int
     enq_ns: int
+    trace: Optional["TraceContext"] = None
+    trace_parent: Optional["TraceContext"] = None
 
 
 class RpcEndpoint:
@@ -102,8 +115,11 @@ class RpcEndpoint:
         self.stats = stats
         self.is_fm1 = isinstance(node.fm, FM1)
         #: Client side: req_id -> (intended arrival ns, completion event,
-        #: shard index or None for unsharded traffic).
-        self.pending: dict[int, tuple[int, object, Optional[int]]] = {}
+        #: shard index or None for unsharded traffic, minted trace context
+        #: or None when unobserved, actual send time ns, routing key).
+        self.pending: dict[
+            int, tuple[int, object, Optional[int],
+                       Optional["TraceContext"], int, Optional[int]]] = {}
         #: Server side: requests parsed by the handler, awaiting the pump.
         self.inbox: deque[Request] = deque()
         #: Responses that arrived after the client abandoned the request.
@@ -124,7 +140,8 @@ class RpcEndpoint:
     def send_request(self, server: int, work_ns: int, payload_len: int,
                      deadline_ns: int = 0,
                      t_intended: Optional[int] = None,
-                     shard: Optional[int] = None) -> Generator:
+                     shard: Optional[int] = None,
+                     key: Optional[int] = None) -> Generator:
         """Issue one request; returns ``(req_id, completion event)``.
 
         The event fires with ``(status, response payload len)`` when the
@@ -132,15 +149,35 @@ class RpcEndpoint:
         ``t_intended`` (the arrival process's scheduled issue time), so
         open-loop overload shows up as unbounded queueing delay rather
         than a slowed clock.  ``shard`` tags the request for per-shard
-        accounting and the ``on_resolved`` balancer callback.
+        accounting and the ``on_resolved`` balancer callback; ``key`` is
+        the balancer's routing key, recorded on the trace for attribution.
+
+        When the run is observed this is also where each request's trace
+        is minted: the context is bound around the FM send (so every span
+        down to the NIC joins the tree), rides the packets to the server,
+        and the root ``rpc.request`` span is recorded when the request
+        resolves (response landed or client abandoned).
         """
         req_id = self._next_req_id
         self._next_req_id += 1
         event = self.env.event()
+        obs = self.env.obs
+        ctx = obs.mint_trace() if obs is not None else None
+        t_sent = self.env.now
         self.pending[req_id] = (
-            self.env.now if t_intended is None else t_intended, event, shard)
+            t_sent if t_intended is None else t_intended, event, shard,
+            ctx, t_sent, key)
         header = REQ_HEADER.pack(req_id, deadline_ns, work_ns, payload_len)
-        yield from self._send(server, self.request_handler, header, payload_len)
+        if ctx is not None:
+            prev = obs.bind(ctx)
+            try:
+                yield from self._send(server, self.request_handler, header,
+                                      payload_len)
+            finally:
+                obs.bind(prev)
+        else:
+            yield from self._send(server, self.request_handler, header,
+                                  payload_len)
         self.stats.note_sent(REQ_HEADER.size + payload_len, shard=shard)
         return req_id, event
 
@@ -191,26 +228,59 @@ class RpcEndpoint:
         entry = self.pending.pop(req_id, None)
         if entry is None:
             return
-        _t, _event, shard = entry
+        _t, _event, shard, ctx, t_sent, key = entry
         self.stats.note_dropped("abandoned", shard=shard)
+        self._finish_trace(ctx, req_id, "abandoned", t_sent, shard, key)
         if self.on_resolved is not None:
             self.on_resolved(req_id, shard)
 
+    def _finish_trace(self, ctx: Optional["TraceContext"], req_id: int,
+                      status: str, t_sent: int, shard: Optional[int],
+                      key: Optional[int]) -> None:
+        """Record the root ``rpc.request`` span now that the request is
+        resolved (its pre-allocated span id closes the tree)."""
+        obs = self.env.obs
+        if obs is None or ctx is None:
+            return
+        attrs: dict = {"req_id": req_id, "status": status}
+        if shard is not None:
+            attrs["shard"] = shard
+        if key is not None:
+            attrs["key"] = key
+        obs.span("app", "rpc.request", t_sent,
+                 track=f"node{self.node.node_id}/rpc",
+                 ctx=ctx, span_id=ctx.span_id, **attrs)
+
     # -- handlers (SPMD-registered on every participating node) ------------------
+    def _hop_contexts(self) -> tuple[Optional["TraceContext"],
+                                     Optional["TraceContext"]]:
+        """(server hop context, client root context) for the request being
+        parsed — the handler runs under the packet's context (inline bind
+        for FM1, process seeding for FM2), so ``current()`` is the root."""
+        obs = self.env.obs
+        if obs is None:
+            return None, None
+        parent = obs.current()
+        if parent is None:
+            return None, None
+        return obs.derive(parent), parent
+
     def _request_fm1(self, fm, src, buffer, nbytes) -> Generator:
         yield from fm.cpu.call()
         req_id, deadline, work, plen = REQ_HEADER.unpack_from(
             buffer.read(0, REQ_HEADER.size))
+        trace, trace_parent = self._hop_contexts()
         self.inbox.append(Request(req_id, src, deadline, work, plen,
-                                  self.env.now))
+                                  self.env.now, trace, trace_parent))
 
     def _request_fm2(self, fm, stream, src) -> Generator:
         head = yield from stream.receive_bytes(REQ_HEADER.size)
         req_id, deadline, work, plen = REQ_HEADER.unpack(head)
         if plen:
             yield from stream.receive_bytes(plen)
+        trace, trace_parent = self._hop_contexts()
         self.inbox.append(Request(req_id, src, deadline, work, plen,
-                                  self.env.now))
+                                  self.env.now, trace, trace_parent))
 
     def _response_fm1(self, fm, src, buffer, nbytes) -> Generator:
         yield from fm.cpu.call()
@@ -230,7 +300,7 @@ class RpcEndpoint:
         if entry is None:
             self.stale_responses += 1
             return
-        t_intended, event, shard = entry
+        t_intended, event, shard, ctx, t_sent, key = entry
         if status == RPC_OK:
             self.stats.note_completed(self.env.now - t_intended,
                                       RESP_HEADER.size + plen, shard=shard)
@@ -238,6 +308,8 @@ class RpcEndpoint:
             self.stats.note_dropped("shed", shard=shard)
         else:
             self.stats.note_dropped("expired", shard=shard)
+        self._finish_trace(ctx, req_id, STATUS_NAMES.get(status, "unknown"),
+                           t_sent, shard, key)
         if self.on_resolved is not None:
             self.on_resolved(req_id, shard)
         event.succeed((status, plen))
@@ -295,6 +367,34 @@ class RpcServer:
         for i in range(self.workers):
             self.env.process(self._worker(), name=f"rpc.worker{i}@{node_id}")
 
+    def _respond(self, request: Request, status: int,
+                 payload_len: int) -> Generator:
+        """Send the response under the request's trace context and close
+        the server-side hop span.
+
+        The hop (``rpc.serve``) span covers arrival-at-server to
+        response-sent — queueing, service, and the response send — and
+        parents to the client's root span, so cross-node waterfalls show
+        where the server spent the request's time.
+        """
+        endpoint = self.endpoint
+        obs = self.env.obs
+        if obs is None or request.trace is None:
+            yield from endpoint.send_response(
+                request.src, request.req_id, status, payload_len)
+            return
+        prev = obs.bind(request.trace)
+        try:
+            yield from endpoint.send_response(
+                request.src, request.req_id, status, payload_len)
+        finally:
+            obs.bind(prev)
+        obs.span("app", "rpc.serve", request.enq_ns,
+                 track=f"node{self.node.node_id}/rpc",
+                 ctx=request.trace_parent, span_id=request.trace.span_id,
+                 req_id=request.req_id, src=request.src,
+                 status=STATUS_NAMES.get(status, "unknown"))
+
     def _pump(self) -> Generator:
         """Extract requests and feed the bounded queue under the policy."""
         endpoint = self.endpoint
@@ -306,8 +406,7 @@ class RpcServer:
                 if self.policy == "shed" and queue.is_full:
                     # Dropped requests are counted once, client-side, when
                     # the RPC_SHED response lands (stats are shared).
-                    yield from endpoint.send_response(
-                        request.src, request.req_id, RPC_SHED, 0)
+                    yield from self._respond(request, RPC_SHED, 0)
                     continue
                 # Blocks while the queue is full ("queue"/"deadline"): no
                 # extracting happens meanwhile, the receive region fills,
@@ -320,7 +419,6 @@ class RpcServer:
 
     def _worker(self) -> Generator:
         """Dequeue, serve (charging the request's demand), respond."""
-        endpoint = self.endpoint
         cpu = self.node.cpu
         while True:
             request: Request = yield self.queue.get()
@@ -329,13 +427,11 @@ class RpcServer:
                                        shard=self.shard)
             if (self.policy == "deadline" and request.deadline_ns
                     and self.env.now > request.deadline_ns):
-                yield from endpoint.send_response(
-                    request.src, request.req_id, RPC_EXPIRED, 0)
+                yield from self._respond(request, RPC_EXPIRED, 0)
                 continue
             if request.work_ns:
                 yield from cpu.compute(request.work_ns)
-            yield from endpoint.send_response(
-                request.src, request.req_id, RPC_OK, self.resp_bytes)
+            yield from self._respond(request, RPC_OK, self.resp_bytes)
             self.served += 1
 
     def __repr__(self) -> str:

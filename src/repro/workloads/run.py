@@ -4,12 +4,20 @@
     python -m repro.workloads.run --spec scenario.json     # your own spec
     python -m repro.workloads.run rpc-closed -o report.json
     python -m repro.workloads.run list                     # show presets
+    python -m repro.workloads.run rpc-sharded-slo \\
+        --nic-stall 1:2000000:6000000:120000 --trace trace.json
 
 A spec file is a JSON object of :class:`~repro.workloads.runner.Scenario`
 fields (``name`` required, everything else defaulted).  Reports are
 deterministic JSON (sorted keys, canonical separators): the same spec
 produces byte-identical output on every run, so reports can be committed
 and diffed.
+
+``--nic-stall NODE:START:END:EXTRA_NS`` (repeatable) composes a
+deterministic :class:`~repro.faults.plan.FaultPlan` of NIC firmware
+stalls into the run; ``--trace FILE`` exports the observed spans (with
+causal flow arrows) as a Perfetto/Chrome trace-event file, validated
+before it is written.
 """
 
 from __future__ import annotations
@@ -20,9 +28,30 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
-from repro.obs.export import dumps_deterministic
+from repro.obs.export import dumps_deterministic, export_trace, trace_events, \
+    validate_trace_events
 
-from repro.workloads.runner import PRESETS, Scenario, run_scenario
+from repro.workloads.runner import PRESETS, Scenario, execute_scenario
+
+
+def parse_nic_stall(text: str):
+    """``NODE:START:END:EXTRA_NS`` -> :class:`~repro.faults.plan.NicStall`."""
+    from repro.faults.plan import NicStall
+
+    parts = text.split(":")
+    if len(parts) != 4:
+        raise argparse.ArgumentTypeError(
+            f"--nic-stall wants NODE:START:END:EXTRA_NS, got {text!r}")
+    try:
+        node, start_ns, end_ns, extra_ns = (int(p) for p in parts)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--nic-stall fields must be integers, got {text!r}")
+    try:
+        return NicStall(node=node, start_ns=start_ns, end_ns=end_ns,
+                        extra_ns=extra_ns)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"--nic-stall {text!r}: {exc}")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -45,6 +74,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--observe", action="store_true",
         help="attach the observer (spans + metrics federation); results "
              "are bit-identical either way",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="export the observed spans as a Perfetto trace-event file "
+             "(implies --observe)",
+    )
+    parser.add_argument(
+        "--nic-stall", action="append", default=[], metavar="N:S:E:X",
+        type=parse_nic_stall,
+        help="inject a NIC firmware stall: NODE:START_NS:END_NS:EXTRA_NS "
+             "(repeatable; composes a deterministic FaultPlan)",
     )
     parser.add_argument(
         "-o", "--out", default=None, metavar="FILE",
@@ -71,8 +111,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                          f"choices: {', '.join(sorted(PRESETS))}")
         scenario = PRESETS[opts.preset]
 
-    report = run_scenario(scenario, observe=opts.observe)
-    text = dumps_deterministic(report)
+    plan = None
+    if opts.nic_stall:
+        from repro.faults.plan import FaultPlan
+
+        plan = FaultPlan(seed=scenario.seed, episodes=tuple(opts.nic_stall))
+    observe = opts.observe or opts.trace is not None
+    outcome = execute_scenario(scenario, plan=plan, observe=observe)
+    if opts.trace is not None:
+        validate_trace_events(trace_events(outcome.observer.spans))
+        print(export_trace(outcome.observer, opts.trace), file=sys.stderr)
+    text = dumps_deterministic(outcome.report)
     if opts.out is not None:
         Path(opts.out).write_text(text + "\n")
         print(opts.out)

@@ -35,6 +35,8 @@ from typing import Optional
 from repro.cluster.cluster import Cluster
 from repro.configs import PPRO_FM2, SPARC_FM1
 
+from repro.obs.slo import SloSpec, evaluate_slos
+
 from repro.workloads.arrivals import ArrivalSpec, Bursty, ClosedLoop, OpenLoop
 from repro.workloads.rpc import RpcClient, RpcEndpoint, RpcServer, VALID_POLICIES
 from repro.workloads.sharding import (
@@ -92,6 +94,10 @@ class Scenario:
     halo_bytes: int = 256
     grad_bytes: int = 4096
     compute_ns: int = 5_000
+    # -- telemetry: windowed time series + SLOs (0 / None = off) -----------
+    sample_interval_ns: int = 0      # time-series window width
+    slo_availability: Optional[float] = None   # e.g. 0.99 good fraction
+    slo_latency_p99_ns: Optional[int] = None   # p99 latency target
     # -- run guard ---------------------------------------------------------
     until_ns: Optional[int] = None
 
@@ -126,6 +132,45 @@ class Scenario:
                     raise ValueError(
                         f"shard policy must be one of {VALID_POLICIES}, "
                         f"got {policy!r}")
+        if self.sample_interval_ns < 0:
+            raise ValueError(f"sample_interval_ns must be non-negative, "
+                             f"got {self.sample_interval_ns}")
+        has_slo = (self.slo_availability is not None
+                   or self.slo_latency_p99_ns is not None)
+        if has_slo and not self.sample_interval_ns:
+            raise ValueError(
+                "SLO targets need sample_interval_ns > 0 (burn rates are "
+                "computed over time-series windows)")
+        if (self.slo_availability is not None
+                and not 0.0 < self.slo_availability < 1.0):
+            raise ValueError(f"slo_availability must be in (0, 1), "
+                             f"got {self.slo_availability}")
+        if (self.slo_latency_p99_ns is not None
+                and self.slo_latency_p99_ns < 1):
+            raise ValueError(f"slo_latency_p99_ns must be positive, "
+                             f"got {self.slo_latency_p99_ns}")
+
+    def slo_specs(self) -> tuple[SloSpec, ...]:
+        """The declarative SLOs this scenario evaluates: one aggregate
+        spec per target, plus a per-shard variant for sharded services
+        (the failover supervisor's per-shard health signal)."""
+        specs: list[SloSpec] = []
+        shards = (range(self.servers)
+                  if self.kind == "rpc" and self.servers > 1 else ())
+        if self.slo_availability is not None:
+            specs.append(SloSpec("availability", "availability",
+                                 self.slo_availability))
+            specs.extend(
+                SloSpec(f"availability.shard{i}", "availability",
+                        self.slo_availability, shard=i) for i in shards)
+        if self.slo_latency_p99_ns is not None:
+            specs.append(SloSpec("latency_p99", "latency", 0.99,
+                                 threshold_ns=self.slo_latency_p99_ns))
+            specs.extend(
+                SloSpec(f"latency_p99.shard{i}", "latency", 0.99,
+                        threshold_ns=self.slo_latency_p99_ns, shard=i)
+                for i in shards)
+        return tuple(specs)
 
     def arrival_spec(self) -> ArrivalSpec:
         """Materialise the arrival-process spec named by ``self.arrival``."""
@@ -222,13 +267,32 @@ def _run_mpi(cluster: Cluster, scenario: Scenario,
                  for program in programs], until_ns=scenario.until_ns)
 
 
-def run_scenario(scenario: Scenario, plan=None, observe: bool = False) -> dict:
-    """Run one scenario to completion; returns the report dict.
+@dataclass
+class ScenarioOutcome:
+    """Everything one scenario run produced.
+
+    ``report`` is the deterministic JSON fragment :func:`run_scenario`
+    returns; the live objects (cluster, stats, observer, injector) are
+    for callers that need more than the report — trace export, waterfall
+    rendering, breakdown reports.
+    """
+
+    scenario: Scenario
+    cluster: Cluster
+    stats: WorkloadStats
+    report: dict
+    observer: Optional[object] = None
+    injector: Optional[object] = None
+
+
+def execute_scenario(scenario: Scenario, plan=None,
+                     observe: bool = False) -> ScenarioOutcome:
+    """Run one scenario to completion; returns the full outcome.
 
     ``plan`` is an optional :class:`~repro.faults.plan.FaultPlan`;
-    ``observe=True`` attaches an observer (spans + metrics federation) —
-    both compose through the cluster's standard hooks and neither changes
-    the simulated results.
+    ``observe=True`` attaches an observer (spans + metrics federation +
+    per-request trace contexts) — both compose through the cluster's
+    standard hooks and neither changes the simulated results.
     """
     cluster = Cluster(scenario.n_nodes, machine=MACHINES[scenario.machine],
                       fm_version=scenario.fm_version)
@@ -237,7 +301,8 @@ def run_scenario(scenario: Scenario, plan=None, observe: bool = False) -> dict:
     n_shards = (scenario.servers
                 if scenario.kind == "rpc" and scenario.servers > 1 else 0)
     stats = WorkloadStats(cluster.env, name=f"workload.{scenario.name}",
-                          n_shards=n_shards)
+                          n_shards=n_shards,
+                          sample_interval_ns=scenario.sample_interval_ns)
     if observer is not None:
         stats.federate(observer.metrics)
     if scenario.kind == "rpc":
@@ -249,12 +314,22 @@ def run_scenario(scenario: Scenario, plan=None, observe: bool = False) -> dict:
         "results": stats.report(),
         "sim_end_ns": cluster.now,
     }
+    specs = scenario.slo_specs()
+    if specs:
+        report["slo"] = evaluate_slos(stats.timeseries, specs)
     if injector is not None:
         report["faults"] = {
             "events": len(injector.events),
             "counters": dict(sorted(injector.counters.as_dict().items())),
         }
-    return report
+    return ScenarioOutcome(scenario, cluster, stats, report,
+                           observer, injector)
+
+
+def run_scenario(scenario: Scenario, plan=None, observe: bool = False) -> dict:
+    """Run one scenario; returns just the report dict (see
+    :func:`execute_scenario` for the full outcome)."""
+    return execute_scenario(scenario, plan=plan, observe=observe).report
 
 
 #: Named scenarios the CLI (and the smoke tests) run out of the box.
@@ -280,6 +355,21 @@ PRESETS = {
                                  balancer="static", key_skew=1.2,
                                  rate_rps=80_000.0, n_requests=40,
                                  req_bytes=256, resp_bytes=256, work_ns=0),
+    # Sharded run with telemetry armed: windowed time series plus
+    # availability / p99-latency SLOs.  Healthy, the run stays inside
+    # budget; a NicStall on a server node (``--nic-stall
+    # 1:2000000:6000000:120000`` from the CLI) makes clients abandon
+    # into that shard and the burn-rate detector fires a breach inside
+    # the stall window.
+    "rpc-sharded-slo": Scenario(name="rpc-sharded-slo", kind="rpc",
+                                arrival="open", n_nodes=10, servers=4,
+                                balancer="static", rate_rps=40_000.0,
+                                n_requests=40, req_bytes=256,
+                                resp_bytes=256, work_ns=0,
+                                abandon_after_ns=400_000,
+                                sample_interval_ns=200_000,
+                                slo_availability=0.99,
+                                slo_latency_p99_ns=250_000),
     "mpi-halo": Scenario(name="mpi-halo", kind="halo", iterations=30,
                          halo_bytes=256, compute_ns=5_000),
     "mpi-allreduce": Scenario(name="mpi-allreduce", kind="allreduce",

@@ -284,7 +284,8 @@ class ShardedClient(RpcClient):
         self.balancer.note_issued(shard)
         return (yield from self.endpoint.send_request(
             self.service.shard_nodes[shard], self.work_ns, self.req_bytes,
-            deadline_ns=deadline_ns, t_intended=t_intended, shard=shard))
+            deadline_ns=deadline_ns, t_intended=t_intended, shard=shard,
+            key=key))
 
     def _on_resolved(self, req_id: int, shard: Optional[int]) -> None:
         if shard is not None:

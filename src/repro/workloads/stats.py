@@ -22,6 +22,14 @@ When a run is observed (``cluster.observe()``), :meth:`WorkloadStats.federate`
 registers the counters with the observer's metrics registry and mirrors
 every latency sample into its histograms, so the breakdown CLI and Perfetto
 exports see workload signals alongside the per-layer spans.
+
+With ``sample_interval_ns`` set, the aggregate object additionally owns a
+:class:`~repro.obs.timeseries.TimeSeriesBank` and every ``note_*`` call
+records into windowed series — ``completed`` / ``drops`` / ``sent``
+rates, ``delivered_bytes`` goodput, ``latency_ns`` windowed quantiles,
+and the ``queue_depth`` gauge — both aggregate and (for sharded calls)
+``shard=<i>``-labelled.  Those series are what the
+:mod:`repro.obs.slo` burn-rate detectors evaluate.
 """
 
 from __future__ import annotations
@@ -30,6 +38,8 @@ import math
 from typing import TYPE_CHECKING, Optional
 
 import numpy as np
+
+from repro.obs.timeseries import TimeSeriesBank
 
 from repro.simkernel.monitor import Counters
 
@@ -130,9 +140,12 @@ class WorkloadStats:
     """
 
     def __init__(self, env: "Environment", name: str = "workload",
-                 n_shards: int = 0):
+                 n_shards: int = 0, sample_interval_ns: int = 0):
         if n_shards < 0:
             raise ValueError(f"n_shards must be non-negative, got {n_shards}")
+        if sample_interval_ns < 0:
+            raise ValueError(f"sample_interval_ns must be non-negative, "
+                             f"got {sample_interval_ns}")
         self.env = env
         self.name = name
         self.latency = Reservoir(f"{name}.latency_ns")
@@ -143,6 +156,12 @@ class WorkloadStats:
         self.t_first_send: Optional[int] = None
         self.t_last_done: Optional[int] = None
         self._metrics: Optional["Metrics"] = None
+        #: Windowed time series (None unless ``sample_interval_ns`` > 0).
+        #: Shard-labelled series live on the aggregate's bank, so sub-stats
+        #: never carry their own.
+        self.timeseries: Optional[TimeSeriesBank] = (
+            TimeSeriesBank(env, sample_interval_ns)
+            if sample_interval_ns else None)
         #: Per-shard sub-stats (empty for unsharded runs).
         self.shards: list["WorkloadStats"] = [
             WorkloadStats(env, f"{name}.shard{i}") for i in range(n_shards)]
@@ -164,6 +183,17 @@ class WorkloadStats:
             return None
         return self.shards[shard]
 
+    def _series(self, kind: str, name: str, value: int,
+                shard: Optional[int]) -> None:
+        """Record into the aggregate series and, when sharded, the
+        ``shard=<i>``-labelled variant (no-op without a bank)."""
+        bank = self.timeseries
+        if bank is None:
+            return
+        getattr(bank, kind)(name).observe(value)
+        if shard is not None:
+            getattr(bank, kind)(name, shard=str(shard)).observe(value)
+
     # -- recording --------------------------------------------------------------
     def note_sent(self, nbytes: int, shard: Optional[int] = None) -> None:
         """Record one request issued with ``nbytes`` of request payload."""
@@ -172,6 +202,7 @@ class WorkloadStats:
             self.t_first_send = now
         self.counters.add("sent")
         self.counters.add("request_bytes", nbytes)
+        self._series("rate", "sent", 1, shard)
         sub = self._shard(shard)
         if sub is not None:
             sub.note_sent(nbytes)
@@ -183,6 +214,9 @@ class WorkloadStats:
         self.counters.add("completed")
         self.counters.add("response_bytes", response_bytes)
         self.latency.record(latency_ns)
+        self._series("rate", "completed", 1, shard)
+        self._series("rate", "delivered_bytes", response_bytes, shard)
+        self._series("quantile", "latency_ns", latency_ns, shard)
         if self._metrics is not None:
             self._metrics.histogram(f"{self.name}.latency_ns").record(latency_ns)
         sub = self._shard(shard)
@@ -193,6 +227,7 @@ class WorkloadStats:
         """Count one lost request: ``kind`` is ``shed``, ``expired``, or
         ``abandoned`` (client gave up waiting)."""
         self.counters.add(kind)
+        self._series("rate", "drops", 1, shard)
         sub = self._shard(shard)
         if sub is not None:
             sub.note_dropped(kind)
@@ -200,6 +235,7 @@ class WorkloadStats:
     def note_queue_depth(self, depth: int, shard: Optional[int] = None) -> None:
         """Sample the server queue depth observed at dequeue time."""
         self.queue_depth.append((self.env.now, depth))
+        self._series("gauge", "queue_depth", depth, shard)
         if self._metrics is not None:
             self._metrics.histogram(f"{self.name}.queue_depth").record(depth)
         sub = self._shard(shard)
@@ -277,6 +313,8 @@ class WorkloadStats:
             imbalance = self.imbalance()
             report["imbalance"] = (None if imbalance is None
                                    else round(imbalance, 4))
+        if self.timeseries is not None:
+            report["timeseries"] = self.timeseries.as_dict()
         return report
 
     def _report_flat(self) -> dict:

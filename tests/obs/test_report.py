@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.obs.report import SCENARIOS, main, run_scenario
+from repro.obs.report import (
+    SCENARIOS,
+    critical_path,
+    main,
+    render_waterfall,
+    request_roots,
+    run_scenario,
+)
 
 
 class TestJourneyScenario:
@@ -62,11 +69,46 @@ class TestStreamScenarios:
             run_scenario("no-such-scenario")
 
 
+class TestRequestWaterfalls:
+    def test_rpc_scenario_has_traced_roots(self):
+        report = run_scenario("rpc-fm2", n_messages=4)
+        roots = request_roots(report.obs)
+        # 3 clients x 4 requests, every one traced from the client side.
+        assert len(roots) == 12
+        assert all(r.name == "rpc.request" for r in roots)
+        assert all(r.parent_id is None and r.trace_id is not None
+                   for r in roots)
+
+    def test_critical_path_descends_to_a_leaf(self):
+        report = run_scenario("rpc-fm2", n_messages=2)
+        root = request_roots(report.obs)[0]
+        path = critical_path(report.obs, root)
+        assert path[0] is root
+        # Each step is a child of the previous and the serve hop is on it.
+        for parent, child in zip(path, path[1:]):
+            assert child.parent_id == parent.span_id
+        assert any(s.name == "rpc.serve" for s in path)
+
+    def test_waterfall_renders_tree(self):
+        report = run_scenario("rpc-fm2", n_messages=2)
+        root = request_roots(report.obs)[0]
+        text = render_waterfall(report.obs, root)
+        assert "rpc.request" in text and "rpc.serve" in text
+        assert "=" in text    # critical path highlighted
+        # Every span row of the trace appears.
+        assert len(text.splitlines()) == \
+            2 + len(report.obs.spans_for_trace(root.trace_id))
+
+    def test_non_rpc_scenarios_have_no_roots(self):
+        report = run_scenario("stream-fm2", n_messages=3)
+        assert request_roots(report.obs) == []
+
+
 class TestCli:
     def test_all_scenarios_registered(self):
         assert set(SCENARIOS) == {
             "journey-fm1", "journey-fm2", "stream-fm1", "stream-fm2",
-            "pingpong-fm2", "mpi-stream-fm2",
+            "pingpong-fm2", "mpi-stream-fm2", "rpc-fm2", "rpc-sharded",
         }
 
     def test_journey_cli_exits_zero(self, capsys):
