@@ -25,6 +25,7 @@ Run as a CLI::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from time import perf_counter
@@ -116,6 +117,78 @@ def stack_obs_workload() -> tuple[int, int]:
     return cluster.env.now, packets
 
 
+def _partitioned_scenario(partitions: int):
+    """The grouped scenario both partitioned workloads run: 2000 simulated
+    clients (AggregateOpenLoop) on 4 generator nodes feeding 4 shards over
+    4 switch groups — big enough (~10 ms sim, ~10^5 events) that worker
+    compute dominates barrier chatter, small enough to repeat."""
+    from dataclasses import replace
+
+    from repro.workloads.runner import Scenario
+
+    base = Scenario(name="selfperf-partitioned", kind="rpc", arrival="open",
+                    n_nodes=8, partition_groups=4,
+                    trunk_propagation_ns=8_000, servers=4,
+                    balancer="static", population=2_000, rate_rps=100.0,
+                    n_requests=1, req_bytes=64, resp_bytes=64,
+                    work_ns=1_000, workers=4, queue_capacity=64)
+    return replace(base, partitions=partitions)
+
+
+def partitioned_serial_workload() -> tuple[int, int]:
+    """The partitioned reference scenario on the in-process serial runner.
+
+    Returns ``(simulated_ns, scheduled_events)`` — the denominator the
+    parallel run's wall-clock speedup is measured against.
+    """
+    from repro.workloads.runner import execute_scenario
+
+    outcome = execute_scenario(_partitioned_scenario(0))
+    return outcome.report["sim_end_ns"], outcome.cluster.env.scheduled_events
+
+
+def partitioned_parallel_workload() -> tuple[int, int]:
+    """The same scenario on 4 partition worker processes.
+
+    Returns ``(simulated_ns, scheduled_events summed across workers)``.
+    The report is byte-identical to the serial run's; only wall time (and
+    the residual barrier/injection event overhead) differs.
+    """
+    from repro.workloads.partitioned import run_partitioned
+
+    details: dict = {}
+    report = run_partitioned(_partitioned_scenario(4), details=details)
+    return report["sim_end_ns"], details["events"]
+
+
+#: Workloads the ``--profile`` flag can target.
+PROFILE_WORKLOADS: dict[str, Callable[[], tuple[int, int]]] = {
+    "kernel": kernel_workload,
+    "stack": stack_workload,
+    "stack_obs": stack_obs_workload,
+    "partitioned": partitioned_serial_workload,
+}
+
+
+def profile_workload(name: str, top: int = 20) -> None:
+    """cProfile one workload and print the ``top`` cumulative entries.
+
+    The profiling path never writes BENCH_selfperf.json: profiled wall
+    times include instrumentation overhead and must not contaminate the
+    tracked numbers.
+    """
+    import cProfile
+    import pstats
+
+    fn = PROFILE_WORKLOADS[name]
+    fn()  # warmup outside the profile: imports, allocator pools
+    profiler = cProfile.Profile()
+    profiler.enable()
+    fn()
+    profiler.disable()
+    pstats.Stats(profiler).sort_stats("cumulative").print_stats(top)
+
+
 # -- measurement ---------------------------------------------------------------
 def _time_min(fn: Callable[[], tuple[int, int]], repeats: int) -> tuple[float, int]:
     """Minimum wall seconds over ``repeats`` runs (after one warmup)."""
@@ -136,6 +209,13 @@ def measure(repeats: int = 5) -> dict:
     kernel_s, kernel_events = _time_min(kernel_workload, repeats)
     stack_s, stack_packets = _time_min(stack_workload, repeats)
     obs_s, obs_packets = _time_min(stack_obs_workload, repeats)
+    # The partitioned pair runs seconds per repetition; cap its repeats so
+    # the harness stays interactive (min-of-2 is still a stable floor for
+    # a deterministic workload).
+    part_repeats = max(1, min(repeats, 2))
+    pser_s, pser_events = _time_min(partitioned_serial_workload, part_repeats)
+    ppar_s, ppar_events = _time_min(partitioned_parallel_workload,
+                                    part_repeats)
     return {
         "kernel": {
             "events": kernel_events,
@@ -154,6 +234,22 @@ def measure(repeats: int = 5) -> dict:
             # Wall-time cost of full observability on identical traffic;
             # gated machine-relative by benchmarks/.
             "obs_overhead": round(obs_s / stack_s, 2),
+        },
+        "partitioned": {
+            # Wall-clock scaling of the partitioned engine on one grouped
+            # scenario: the same simulation serial vs 4 worker processes.
+            # Speedup is machine-relative (bounded above by cpus — a
+            # 1-core box *must* read < 1x from barrier overhead), so the
+            # benchmark gate only requires >= 2x when cpus >= 4.
+            "cpus": os.cpu_count() or 1,
+            "partitions": 4,
+            "serial_events": pser_events,
+            "serial_seconds": round(pser_s, 4),
+            "serial_events_per_sec": int(pser_events / pser_s),
+            "parallel_events": ppar_events,
+            "parallel_seconds": round(ppar_s, 4),
+            "parallel_events_per_sec": int(ppar_events / ppar_s),
+            "parallel_speedup": round(pser_s / ppar_s, 2),
         },
     }
 
@@ -176,7 +272,10 @@ def build_document(current: dict) -> dict:
             "producer/3-relay/consumer chain (~36k processed events); stack = "
             "60x1KB FM2 messages on a 2-node PPRO cluster; stack_obs = the "
             "same traffic with the observer attached (obs_overhead = wall-"
-            "time ratio vs stack)"
+            "time ratio vs stack); partitioned = one grouped 2000-client "
+            "aggregate scenario serial vs 4 worker processes, min of 2 "
+            "repeats (parallel_speedup is wall-clock and machine-relative: "
+            "it cannot exceed the cpu count, and reads < 1x on 1 core)"
         ),
     }
 
@@ -203,7 +302,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="output path (default ./BENCH_selfperf.json)")
     parser.add_argument("--check", action="store_true",
                         help="measure and print, but do not write the file")
+    parser.add_argument("--profile", nargs="?", const="stack",
+                        choices=sorted(PROFILE_WORKLOADS), metavar="WORKLOAD",
+                        help="cProfile one workload (default: stack) and "
+                             "print the top-20 cumulative entries instead of "
+                             "measuring; never writes the JSON document")
     args = parser.parse_args(argv)
+
+    if args.profile is not None:
+        profile_workload(args.profile)
+        return 0
 
     document = build_document(measure(args.repeats))
     text = dumps_deterministic(document)
@@ -216,6 +324,9 @@ def main(argv: list[str] | None = None) -> int:
           f"({speedup['kernel']:.2f}x baseline)")
     print(f"stack:  {current['stack']['packets_per_sec']:>10,} packets/sec "
           f"({speedup['stack']:.2f}x baseline)")
+    part = current["partitioned"]
+    print(f"partitioned: {part['parallel_speedup']:.2f}x wall-clock at "
+          f"{part['partitions']} workers on {part['cpus']} cpus")
     print(f"wrote {args.output}")
     return 0
 

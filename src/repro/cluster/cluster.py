@@ -47,7 +47,8 @@ class Cluster:
 
     def __init__(self, n_nodes: int, machine: MachineParams = PPRO_FM2,
                  fm_version: int = 2, topology: Optional[Topology] = None,
-                 fm_params: Optional[FmParams] = None):
+                 fm_params: Optional[FmParams] = None,
+                 trunk_params=None):
         if n_nodes < 2:
             raise ValueError(f"a cluster needs at least 2 nodes, got {n_nodes}")
         self.env = Environment()
@@ -67,7 +68,8 @@ class Cluster:
             raise ValueError(
                 f"topology has {self.topology.n_hosts} hosts, cluster wants {n_nodes}"
             )
-        self.fabric = Fabric(self.env, self.topology, machine.link, machine.switch)
+        self.fabric = Fabric(self.env, self.topology, machine.link,
+                             machine.switch, trunk_params=trunk_params)
         self.nodes: list[Node] = []
         for i in range(n_nodes):
             node = Node(self.env, i, machine)

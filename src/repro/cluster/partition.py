@@ -1,0 +1,82 @@
+"""One partition's share of a cluster, for partitioned parallel runs.
+
+A :class:`PartitionCluster` is the per-worker analogue of
+:class:`~repro.cluster.cluster.Cluster`: it builds **only the nodes this
+partition owns** (plus their NICs and the partition's share of the
+fabric, via :class:`~repro.parallel.partition.PartitionFabric`) inside a
+fresh :class:`~repro.simkernel.env.Environment`.  Node ids keep their
+global numbering and routes are computed on the full topology, so FM
+endpoints address remote peers exactly as in a serial build — the
+packets simply leave through boundary links instead of local wires.
+
+Construction order mirrors ``Cluster`` (nodes in ascending id order,
+fabric started last) so that per-node process creation is identical to
+the serial build restricted to this partition's components.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from repro.simkernel.env import Environment
+from repro.simkernel.process import Process
+
+from repro.hardware.params import MachineParams
+
+from repro.cluster.cluster import default_fm_params
+from repro.cluster.node import Node
+from repro.core.common import FmParams
+from repro.parallel.partition import PartitionFabric, PartitionPlan
+
+
+class PartitionCluster:
+    """The hosts of one partition, wired to a partial fabric."""
+
+    def __init__(self, plan: PartitionPlan, partition: int,
+                 machine: MachineParams, fm_version: int = 2,
+                 fm_params: Optional[FmParams] = None):
+        if not 0 <= partition < plan.n_partitions:
+            raise ValueError(
+                f"partition {partition} out of range "
+                f"[0, {plan.n_partitions})")
+        n_nodes = plan.topology.n_hosts
+        self.plan = plan
+        self.partition = partition
+        self.n_nodes = n_nodes
+        self.env = Environment()
+        self.machine = machine
+        self.fm_version = fm_version
+        self.fm_params = fm_params or default_fm_params(fm_version)
+        if (self.fm_params.credits_per_peer * (n_nodes - 1)
+                > machine.nic.recv_region_slots):
+            raise ValueError(
+                "receive region too small for the credit scheme: "
+                f"{self.fm_params.credits_per_peer} credits x {n_nodes - 1} "
+                f"peers > {machine.nic.recv_region_slots} region slots")
+        self.fabric = PartitionFabric(self.env, plan, partition,
+                                      machine.switch)
+        #: Owned nodes by global id (ascending build order, like Cluster).
+        self.nodes: dict[int, Node] = {}
+        for i in plan.hosts_of(partition):
+            node = Node(self.env, i, machine)
+            self.fabric.attach(i, node.nic)
+            node.bind_fm(self.fabric, fm_version, self.fm_params)
+            self.nodes[i] = node
+        self.fabric.start()
+
+    def node(self, i: int) -> Node:
+        return self.nodes[i]
+
+    def spawn(self, program: Callable[[Node], Generator], node_id: int,
+              name: str = "") -> Process:
+        """Start a program on an owned node (does not run the simulation)."""
+        node = self.nodes[node_id]
+        return self.env.process(program(node), name=name or f"prog@{node_id}")
+
+    @property
+    def now(self) -> int:
+        return self.env.now
+
+    def __repr__(self) -> str:
+        return (f"<PartitionCluster p{self.partition}/"
+                f"{self.plan.n_partitions} nodes={sorted(self.nodes)}>")

@@ -24,27 +24,44 @@ class Fabric:
     """Links + switches for a topology, with NIC attachment points."""
 
     def __init__(self, env: "Environment", topology: Topology,
-                 link_params: LinkParams, switch_params: Optional[SwitchParams] = None):
+                 link_params: LinkParams,
+                 switch_params: Optional[SwitchParams] = None,
+                 trunk_params: Optional[LinkParams] = None):
         self.env = env
         self.topology = topology
         self.link_params = link_params
         self.switch_params = switch_params or SwitchParams()
-        self.switches: list[Switch] = [
-            Switch(env, topology.switch_degree(j), self.switch_params, name=f"s{j}")
-            for j in range(topology.n_switches)
-        ]
+        #: Switch-to-switch trunks may carry their own parameters (longer
+        #: cables between crossbars); host links always use ``link_params``.
+        self.trunk_params = trunk_params or link_params
+        #: Indexed by switch id; partition builds leave foreign entries None.
+        self.switches: list[Optional[Switch]] = [None] * topology.n_switches
         self._nics: dict[int, Nic] = {}
         #: (src_node, dst_node) -> Link, for introspection/tests.
         self.links: dict[tuple[GraphNode, GraphNode], Link] = {}
         self._started = False
+        self._build_switches()
         self._build_switch_links()
         # Route cache: (src_host, dst_host) -> port list.
         self._routes: dict[tuple[int, int], list[int]] = {}
 
     # -- wiring --------------------------------------------------------------
+    def _build_switches(self) -> None:
+        """Instantiate the switches (partition fabrics build a subset)."""
+        for j in range(self.topology.n_switches):
+            self.switches[j] = Switch(
+                self.env, self.topology.switch_degree(j), self.switch_params,
+                name=f"s{j}")
+
+    def params_for(self, src: GraphNode, dst: GraphNode) -> LinkParams:
+        """Link parameters for one directed edge (trunks vs host links)."""
+        if src[0] == "s" and dst[0] == "s":
+            return self.trunk_params
+        return self.link_params
+
     def _make_link(self, src: GraphNode, dst: GraphNode) -> Link:
         name = f"link:{src[0]}{src[1]}->{dst[0]}{dst[1]}"
-        link = Link(self.env, self.link_params, name=name)
+        link = Link(self.env, self.params_for(src, dst), name=name)
         self.links[(src, dst)] = link
         return link
 

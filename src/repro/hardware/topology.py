@@ -136,6 +136,35 @@ def switch_chain(n_hosts: int, hosts_per_switch: int = 4) -> Topology:
     return Topology(g, n_hosts=n_hosts, n_switches=n_switches)
 
 
+def switch_mesh(n_hosts: int, n_groups: int) -> Topology:
+    """``n_groups`` crossbars in a full mesh, hosts split evenly across them.
+
+    Host ``i`` hangs off switch ``i // (n_hosts // n_groups)``; every
+    switch pair is joined by one trunk link, so any host pair is at most
+    three hops apart (host -> switch -> switch -> host).  This is the
+    partitionable topology the parallel-simulation mode cuts along: each
+    group (one switch plus its hosts) is a natural partition unit and the
+    trunk links are the only cross-group edges, so the minimum trunk
+    latency bounds the conservative lookahead window.
+    """
+    if n_groups < 1:
+        raise ValueError(f"need at least 1 group, got {n_groups}")
+    if n_hosts < 2:
+        raise ValueError(f"need at least 2 hosts, got {n_hosts}")
+    if n_hosts % n_groups:
+        raise ValueError(
+            f"{n_hosts} hosts do not split evenly over {n_groups} groups")
+    per_group = n_hosts // n_groups
+    g = nx.Graph()
+    for j in range(n_groups):
+        g.add_node(switch_node(j))
+        for k in range(j):
+            g.add_edge(switch_node(k), switch_node(j))
+    for i in range(n_hosts):
+        g.add_edge(host_node(i), switch_node(i // per_group))
+    return Topology(g, n_hosts=n_hosts, n_switches=n_groups)
+
+
 def fat_tree_2level(n_leaf_switches: int, hosts_per_leaf: int, n_spines: int = 2) -> Topology:
     """Two-level leaf/spine fabric (a small Clos, as larger Myrinet sites used)."""
     if n_leaf_switches < 1 or hosts_per_leaf < 1 or n_spines < 1:

@@ -1,0 +1,108 @@
+"""The window-barrier wire protocol between coordinator and workers.
+
+Star topology: the parent process (coordinator) holds one duplex pipe per
+partition worker.  Per window ``k``:
+
+1. every worker simulates its local events in ``[k*W, (k+1)*W)`` (W = the
+   plan's lookahead), then sends ``("w", k, done, t_done, outbox)``;
+2. the coordinator routes each outbox item to the partition owning its
+   destination edge, sorts every partition's inbound batch by
+   ``(arrival_ns, capture_ns, edge_id)`` (the determinism keystone:
+   injection order is independent of which partition produced a packet,
+   and same-instant arrivals keep the serialisation-end order a serial
+   event heap would have given their propagation timers), and either
+   answers ``("go", inbound)`` or — once every worker reports its local
+   programs done — ``("stop",)``;
+3. on stop, each worker replies ``("fin", payload)`` with its stats
+   snapshot and event counts, then exits.
+
+Stopping at the first all-done barrier mirrors serial semantics exactly:
+``Cluster.run`` stops the instant the last program finishes, so anything
+still in flight past that instant (credit returns, idle-loop wakeups) is
+unsimulated in both modes.  A worker that dies sends ``("err", text)``
+and the coordinator raises, tearing the fleet down.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.parallel.partition import BoundaryItem, PartitionPlan
+
+
+class WorkerSync:
+    """A partition worker's end of the barrier protocol."""
+
+    def __init__(self, conn, partition: int):
+        self.conn = conn
+        self.partition = partition
+
+    def exchange(self, window: int, outbox: list[BoundaryItem], done: bool,
+                 t_done: Optional[int]) -> tuple[Optional[list[BoundaryItem]], bool]:
+        """One barrier: report this window, receive next window's inbound.
+
+        Returns ``(inbound, stop)``; ``inbound`` is ``None`` on stop.
+        """
+        self.conn.send(("w", window, done, t_done, outbox))
+        reply = self.conn.recv()
+        if reply[0] == "stop":
+            return None, True
+        if reply[0] != "go":
+            raise RuntimeError(f"worker {self.partition}: unexpected "
+                               f"coordinator message {reply[0]!r}")
+        return reply[1], False
+
+    def finish(self, payload: dict) -> None:
+        self.conn.send(("fin", payload))
+
+    def error(self, text: str) -> None:
+        self.conn.send(("err", text))
+
+
+class Coordinator:
+    """The parent's side: barrier routing, termination, result collection."""
+
+    def __init__(self, conns: Sequence, plan: PartitionPlan):
+        self.conns = list(conns)
+        self.plan = plan
+        self.windows = 0
+        self.messages = 0
+
+    def run(self) -> list[dict]:
+        """Drive barriers until every worker is done; return fin payloads.
+
+        Worker errors surface as :class:`RuntimeError` carrying the
+        remote traceback text.
+        """
+        n = len(self.conns)
+        while True:
+            done_flags: list[bool] = []
+            inbound: list[list[BoundaryItem]] = [[] for _ in range(n)]
+            for p, conn in enumerate(self.conns):
+                msg = conn.recv()
+                if msg[0] == "err":
+                    raise RuntimeError(
+                        f"partition worker {p} failed:\n{msg[1]}")
+                _tag, _window, done, _t_done, outbox = msg
+                done_flags.append(done)
+                for item in outbox:
+                    inbound[self.plan.dest_partition(item[2])].append(item)
+                    self.messages += 1
+            self.windows += 1
+            if all(done_flags):
+                for conn in self.conns:
+                    conn.send(("stop",))
+                break
+            for conn, batch in zip(self.conns, inbound):
+                batch.sort(key=lambda item: (item[0], item[1], item[2]))
+                conn.send(("go", batch))
+        payloads: list[dict] = []
+        for p, conn in enumerate(self.conns):
+            msg = conn.recv()
+            if msg[0] == "err":
+                raise RuntimeError(f"partition worker {p} failed:\n{msg[1]}")
+            if msg[0] != "fin":
+                raise RuntimeError(f"partition worker {p}: expected fin, "
+                                   f"got {msg[0]!r}")
+            payloads.append(msg[1])
+        return payloads

@@ -87,6 +87,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
              "(repeatable; composes a deterministic FaultPlan)",
     )
     parser.add_argument(
+        "--partitions", default=None, type=int, metavar="N",
+        help="override the scenario's worker-process count (0 = serial "
+             "in-process; N > 0 needs a partition_groups scenario); the "
+             "report is byte-identical either way",
+    )
+    parser.add_argument(
         "-o", "--out", default=None, metavar="FILE",
         help="write the report here instead of stdout",
     )
@@ -110,6 +116,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             parser.error(f"unknown preset {opts.preset!r}; "
                          f"choices: {', '.join(sorted(PRESETS))}")
         scenario = PRESETS[opts.preset]
+    if opts.partitions is not None:
+        from dataclasses import replace
+
+        scenario = replace(scenario, partitions=opts.partitions)
 
     plan = None
     if opts.nic_stall:

@@ -29,20 +29,28 @@ test), which is what makes sweep results diffable across commits.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, replace
 from typing import Optional
 
 from repro.cluster.cluster import Cluster
 from repro.configs import PPRO_FM2, SPARC_FM1
+from repro.hardware.params import LinkParams
+from repro.hardware.topology import Topology, switch_mesh
 
 from repro.obs.slo import SloSpec, evaluate_slos
 
-from repro.workloads.arrivals import ArrivalSpec, Bursty, ClosedLoop, OpenLoop
+from repro.workloads.arrivals import (
+    AggregateOpenLoop,
+    ArrivalSpec,
+    Bursty,
+    ClosedLoop,
+    OpenLoop,
+)
 from repro.workloads.rpc import RpcClient, RpcEndpoint, RpcServer, VALID_POLICIES
 from repro.workloads.sharding import (
     BALANCER_NAMES,
+    ShardDirectory,
     ShardedClient,
-    ShardedService,
     key_stream,
     make_balancer,
 )
@@ -100,6 +108,22 @@ class Scenario:
     slo_latency_p99_ns: Optional[int] = None   # p99 latency target
     # -- run guard ---------------------------------------------------------
     until_ns: Optional[int] = None
+    # -- topology grouping / parallel execution -----------------------------
+    # partition_groups > 0 builds a switch_mesh of that many crossbar
+    # groups (nodes split evenly) joined by trunk links of
+    # trunk_propagation_ns; the *model* depends on these.  partitions is
+    # purely an execution knob (how many OS worker processes simulate the
+    # model; 0 = in-process serial) and is excluded from reports — results
+    # are partition-count-invariant by construction.
+    partition_groups: int = 0
+    trunk_propagation_ns: int = 4_000
+    partitions: int = 0
+    # -- aggregate client populations (0 = one simulated client per node) ---
+    # population simulated clients are spread over the client nodes as
+    # AggregateOpenLoop sources: each node's generator issues the
+    # superposed stream of its share of the population, and n_requests is
+    # per simulated client.
+    population: int = 0
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -149,6 +173,74 @@ class Scenario:
                 and self.slo_latency_p99_ns < 1):
             raise ValueError(f"slo_latency_p99_ns must be positive, "
                              f"got {self.slo_latency_p99_ns}")
+        if self.partition_groups < 0:
+            raise ValueError(f"partition_groups must be non-negative, "
+                             f"got {self.partition_groups}")
+        if self.trunk_propagation_ns < 1:
+            raise ValueError(f"trunk_propagation_ns must be positive, "
+                             f"got {self.trunk_propagation_ns}")
+        if self.partition_groups:
+            if self.n_nodes % self.partition_groups:
+                raise ValueError(
+                    f"{self.n_nodes} nodes do not split evenly over "
+                    f"{self.partition_groups} switch groups")
+            if self.kind == "rpc":
+                npg = self.n_nodes // self.partition_groups
+                per_group = -(-self.servers // self.partition_groups)
+                if per_group > npg:
+                    raise ValueError(
+                        f"{self.servers} servers striped over "
+                        f"{self.partition_groups} groups need {per_group} "
+                        f"server slots per group, groups only have {npg} "
+                        "nodes")
+        if self.partitions < 0:
+            raise ValueError(f"partitions must be non-negative, "
+                             f"got {self.partitions}")
+        if self.partitions:
+            if self.kind != "rpc":
+                raise ValueError(
+                    "partitioned execution supports rpc workloads only "
+                    f"(got kind={self.kind!r}); MPI collectives couple all "
+                    "nodes every iteration and gain nothing from it")
+            if not self.partition_groups:
+                raise ValueError(
+                    "partitions > 0 needs partition_groups > 0: the switch "
+                    "groups are the units workers own, and their trunk "
+                    "latency is the synchronization lookahead")
+            if self.partition_groups % self.partitions:
+                raise ValueError(
+                    f"{self.partition_groups} switch groups do not split "
+                    f"evenly over {self.partitions} partitions")
+            # Features that need one global event view (or post-done
+            # simulation) are serial-only; fail loudly rather than diverge.
+            if self.until_ns is not None:
+                raise ValueError("until_ns is serial-only: a global time "
+                                 "guard needs one event loop")
+            if self.abandon_after_ns is not None:
+                raise ValueError(
+                    "abandon_after_ns is serial-only: abandoned requests "
+                    "leave server work running past the last client done, "
+                    "which the partitioned stop rule does not simulate")
+            if self.sample_interval_ns or self.slo_availability is not None \
+                    or self.slo_latency_p99_ns is not None:
+                raise ValueError("time-series telemetry and SLOs are "
+                                 "serial-only (one global clock)")
+        if self.population < 0:
+            raise ValueError(f"population must be non-negative, "
+                             f"got {self.population}")
+        if self.population:
+            if self.kind != "rpc":
+                raise ValueError("population needs kind='rpc'")
+            if self.arrival not in ("open", "open-fixed"):
+                raise ValueError(
+                    "population aggregates open-loop sources; arrival must "
+                    f"be open or open-fixed, got {self.arrival!r}")
+            n_clients = self.n_nodes - self.servers
+            if self.population < n_clients:
+                raise ValueError(
+                    f"population {self.population} is smaller than the "
+                    f"{n_clients} client nodes — every generator node "
+                    "needs at least one simulated client")
 
     def slo_specs(self) -> tuple[SloSpec, ...]:
         """The declarative SLOs this scenario evaluates: one aggregate
@@ -191,58 +283,137 @@ class Scenario:
         return cls(**spec)
 
 
+def placement(scenario: Scenario) -> tuple[list[int], list[int]]:
+    """Node ids of ``(server nodes, client nodes)`` for an rpc scenario.
+
+    Ungrouped scenarios keep the legacy layout (servers on ``0..S-1``).
+    Grouped scenarios stripe servers across switch groups — server ``s``
+    lands in group ``s % G`` at within-group offset ``s // G`` — so every
+    group serves locally and trunk traffic reflects the balancer rather
+    than an accident of placement.  Shard ``i`` is the i-th server node in
+    ascending id order.  Pure function of the scenario: partition workers
+    and the serial runner agree with no coordination.
+    """
+    if scenario.partition_groups <= 0:
+        server_nodes = list(range(scenario.servers))
+    else:
+        g = scenario.partition_groups
+        npg = scenario.n_nodes // g
+        server_nodes = sorted(
+            (s % g) * npg + s // g for s in range(scenario.servers))
+    owned = set(server_nodes)
+    client_nodes = [i for i in range(scenario.n_nodes) if i not in owned]
+    return server_nodes, client_nodes
+
+
+def scenario_topology(
+        scenario: Scenario,
+        machine) -> tuple[Optional[Topology], Optional[LinkParams]]:
+    """The ``(topology, trunk LinkParams)`` for grouped scenarios
+    (``(None, None)`` keeps the single-crossbar default)."""
+    if scenario.partition_groups <= 0:
+        return None, None
+    topology = switch_mesh(scenario.n_nodes, scenario.partition_groups)
+    trunk = replace(machine.link,
+                    propagation_ns=scenario.trunk_propagation_ns)
+    return topology, trunk
+
+
+def population_shares(population: int, n_clients: int) -> list[int]:
+    """Split ``population`` simulated clients over ``n_clients`` generator
+    nodes (earlier nodes take the remainder — pure function of the
+    arguments, so every partitioning computes the same split)."""
+    base, extra = divmod(population, n_clients)
+    return [base + 1 if j < extra else base for j in range(n_clients)]
+
+
+def client_arrival(scenario: Scenario, position: int,
+                   n_clients: int) -> tuple[ArrivalSpec, int]:
+    """Arrival spec and request budget for the client at ``position`` in
+    the scenario's client-node list.
+
+    Population scenarios hand each node an :class:`AggregateOpenLoop`
+    covering its share of the simulated clients (``n_requests`` is per
+    simulated client, so the node's budget scales with its share);
+    otherwise every client runs the scenario's own spec.
+    """
+    if scenario.population <= 0:
+        return scenario.arrival_spec(), scenario.n_requests
+    share = population_shares(scenario.population, n_clients)[position]
+    spec = AggregateOpenLoop(scenario.rate_rps, population=share,
+                             poisson=(scenario.arrival == "open"))
+    return spec, scenario.n_requests * share
+
+
+def build_server(scenario: Scenario, endpoint: RpcEndpoint,
+                 stats: WorkloadStats,
+                 shard: Optional[int] = None) -> RpcServer:
+    """The server program for one server node (``shard`` is the global
+    shard index for sharded services, ``None`` for the single-server
+    case).  Shared by the serial runner and partition workers so both
+    build bit-identical servers."""
+    if shard is None:
+        policy = scenario.policy
+    else:
+        policies = (scenario.shard_policies
+                    or (scenario.policy,) * scenario.servers)
+        policy = policies[shard]
+    return RpcServer(endpoint, stats, workers=scenario.workers,
+                     queue_capacity=scenario.queue_capacity, policy=policy,
+                     resp_bytes=scenario.resp_bytes,
+                     extract_budget=scenario.extract_budget, shard=shard)
+
+
+def build_client(scenario: Scenario, endpoint: RpcEndpoint,
+                 server_nodes: list[int], position: int,
+                 n_clients: int) -> RpcClient:
+    """The client program for the client node at ``position`` in the
+    scenario's client-node list (also the partition workers' builder).
+
+    Each client owns its balancer instance (``least_pending`` is a
+    per-client view) and routes through a :class:`ShardDirectory` — pure
+    data, so a worker that owns none of the server nodes can still build
+    its clients.
+    """
+    spec, n_requests = client_arrival(scenario, position, n_clients)
+    node_id = endpoint.node.node_id
+    if scenario.servers == 1:
+        return RpcClient(
+            endpoint, server_nodes[0], arrivals=spec, seed=scenario.seed,
+            n_requests=n_requests, req_bytes=scenario.req_bytes,
+            work_ns=scenario.work_ns, deadline_ns=scenario.deadline_ns,
+            abandon_after_ns=scenario.abandon_after_ns,
+            name=f"client{node_id}")
+    return ShardedClient(
+        endpoint, ShardDirectory(server_nodes),
+        make_balancer(scenario.balancer, scenario.servers, scenario.vnodes),
+        key_stream(scenario.seed, f"client{node_id}", scenario.n_keys,
+                   scenario.key_skew),
+        arrivals=spec, seed=scenario.seed, n_requests=n_requests,
+        req_bytes=scenario.req_bytes, work_ns=scenario.work_ns,
+        deadline_ns=scenario.deadline_ns,
+        abandon_after_ns=scenario.abandon_after_ns,
+        name=f"client{node_id}")
+
+
 def _run_rpc(cluster: Cluster, scenario: Scenario,
              stats: WorkloadStats) -> None:
     # Endpoints on every node, built in node order so handler ids agree
     # (handler ids index the receiver's table — SPMD registration).
     endpoints = [RpcEndpoint(node, stats) for node in cluster.nodes]
-    spec = scenario.arrival_spec()
-    if scenario.servers == 1:
-        server = RpcServer(
-            endpoints[0], stats, workers=scenario.workers,
-            queue_capacity=scenario.queue_capacity, policy=scenario.policy,
-            resp_bytes=scenario.resp_bytes,
-            extract_budget=scenario.extract_budget)
-        server.start()
-        clients = [
-            RpcClient(endpoints[i], 0, arrivals=spec, seed=scenario.seed,
-                      n_requests=scenario.n_requests,
-                      req_bytes=scenario.req_bytes, work_ns=scenario.work_ns,
-                      deadline_ns=scenario.deadline_ns,
-                      abandon_after_ns=scenario.abandon_after_ns,
-                      name=f"client{i}")
-            for i in range(1, cluster.n_nodes)
-        ]
-        programs = [None]
-    else:
-        # Shards on nodes 0..servers-1, clients on the rest; each client
-        # owns its balancer instance (least_pending is a per-client view).
-        policies = (scenario.shard_policies
-                    or (scenario.policy,) * scenario.servers)
-        service = ShardedService(
-            endpoints[:scenario.servers], stats, workers=scenario.workers,
-            queue_capacity=scenario.queue_capacity, policies=policies,
-            resp_bytes=scenario.resp_bytes,
-            extract_budget=scenario.extract_budget)
-        service.start()
-        clients = [
-            ShardedClient(
-                endpoints[i], service,
-                make_balancer(scenario.balancer, scenario.servers,
-                              scenario.vnodes),
-                key_stream(scenario.seed, f"client{i}", scenario.n_keys,
-                           scenario.key_skew),
-                arrivals=spec, seed=scenario.seed,
-                n_requests=scenario.n_requests,
-                req_bytes=scenario.req_bytes, work_ns=scenario.work_ns,
-                deadline_ns=scenario.deadline_ns,
-                abandon_after_ns=scenario.abandon_after_ns,
-                name=f"client{i}")
-            for i in range(scenario.servers, cluster.n_nodes)
-        ]
-        programs = [None] * scenario.servers
-    programs += [
-        (lambda node, client=client: client.run()) for client in clients]
+    server_nodes, client_nodes = placement(scenario)
+    sharded = scenario.servers > 1
+    for shard, node_id in enumerate(server_nodes):
+        build_server(scenario, endpoints[node_id], stats,
+                     shard=shard if sharded else None).start()
+    clients = [
+        build_client(scenario, endpoints[node_id], server_nodes, position,
+                     len(client_nodes))
+        for position, node_id in enumerate(client_nodes)
+    ]
+    programs: list = [None] * cluster.n_nodes
+    for node_id, client in zip(client_nodes, clients):
+        programs[node_id] = (lambda node, client=client: client.run())
     cluster.run(programs, until_ns=scenario.until_ns)
 
 
@@ -278,11 +449,22 @@ class ScenarioOutcome:
     """
 
     scenario: Scenario
-    cluster: Cluster
-    stats: WorkloadStats
+    cluster: Optional[Cluster]
+    stats: Optional[WorkloadStats]
     report: dict
     observer: Optional[object] = None
     injector: Optional[object] = None
+
+
+def scenario_report_dict(scenario: Scenario) -> dict:
+    """The scenario as report JSON — minus ``partitions``, the one field
+    that names how the run executed rather than what was simulated.
+    Reports are byte-identical across partition counts; keeping the knob
+    out of the report is what lets the invariance tests compare them
+    with ``==``."""
+    spec = asdict(scenario)
+    del spec["partitions"]
+    return spec
 
 
 def execute_scenario(scenario: Scenario, plan=None,
@@ -293,9 +475,25 @@ def execute_scenario(scenario: Scenario, plan=None,
     ``observe=True`` attaches an observer (spans + metrics federation +
     per-request trace contexts) — both compose through the cluster's
     standard hooks and neither changes the simulated results.
+
+    Scenarios with ``partitions > 0`` run on OS worker processes (one
+    per partition) and return a report-only outcome: the live cluster
+    and stats objects belong to the workers and do not survive the run.
     """
-    cluster = Cluster(scenario.n_nodes, machine=MACHINES[scenario.machine],
-                      fm_version=scenario.fm_version)
+    if scenario.partitions > 0:
+        if plan is not None or observe:
+            raise ValueError(
+                "fault plans and observers are serial-only: both need one "
+                "global event loop (drop partitions to use them)")
+        from repro.workloads.partitioned import run_partitioned
+
+        return ScenarioOutcome(scenario, None, None,
+                               run_partitioned(scenario))
+    machine = MACHINES[scenario.machine]
+    topology, trunk = scenario_topology(scenario, machine)
+    cluster = Cluster(scenario.n_nodes, machine=machine,
+                      fm_version=scenario.fm_version, topology=topology,
+                      trunk_params=trunk)
     injector = cluster.inject_faults(plan) if plan is not None else None
     observer = cluster.observe() if observe else None
     n_shards = (scenario.servers
@@ -310,7 +508,7 @@ def execute_scenario(scenario: Scenario, plan=None,
     else:
         _run_mpi(cluster, scenario, stats)
     report = {
-        "scenario": asdict(scenario),
+        "scenario": scenario_report_dict(scenario),
         "results": stats.report(),
         "sim_end_ns": cluster.now,
     }
@@ -370,6 +568,33 @@ PRESETS = {
                                 sample_interval_ns=200_000,
                                 slo_availability=0.99,
                                 slo_latency_p99_ns=250_000),
+    # Grouped-fabric smoke scenario for the partitioned engine: 8 nodes
+    # over 2 crossbar groups joined by a 4 us trunk, 2 shards striped one
+    # per group.  Runs on 2 worker processes out of the box; the
+    # invariance tests pin its report byte-identical at partitions 0/1/2.
+    "rpc-partitioned": Scenario(name="rpc-partitioned", kind="rpc",
+                                arrival="open", n_nodes=8,
+                                partition_groups=2, partitions=2,
+                                servers=2, balancer="static",
+                                rate_rps=20_000.0, n_requests=40,
+                                req_bytes=128, resp_bytes=128,
+                                work_ns=2_000),
+    # The headline 10^5-client scenario: 100k simulated open-loop clients
+    # collapsed onto 12 generator nodes via AggregateOpenLoop, feeding 4
+    # shards striped over 4 groups, one request per simulated client.
+    # Aggregate offered load 250k rps (~55% of the fabric's measured
+    # ~440k rps knee — partitioned fidelity needs sub-saturation
+    # operation, see ARCHITECTURE) over a ~400 ms horizon; runs on 4
+    # workers by default (--partitions 0 for the serial reference).
+    "rpc-aggregate-100k": Scenario(name="rpc-aggregate-100k", kind="rpc",
+                                   arrival="open", n_nodes=16,
+                                   partition_groups=4, partitions=4,
+                                   trunk_propagation_ns=8_000,
+                                   servers=4, balancer="static",
+                                   population=100_000, rate_rps=2.5,
+                                   n_requests=1, req_bytes=64,
+                                   resp_bytes=64, work_ns=1_000,
+                                   workers=4, queue_capacity=64),
     "mpi-halo": Scenario(name="mpi-halo", kind="halo", iterations=30,
                          halo_bytes=256, compute_ns=5_000),
     "mpi-allreduce": Scenario(name="mpi-allreduce", kind="allreduce",

@@ -245,6 +245,32 @@ class ShardedService:
                 f"nodes={self.shard_nodes}>")
 
 
+class ShardDirectory:
+    """Pure-data stand-in for a :class:`ShardedService` on the client side.
+
+    A :class:`ShardedClient` only ever reads ``shard_nodes`` and
+    ``n_shards`` from its service — routing is client-side by design — so
+    a directory of shard placements is enough to build clients in a
+    process that owns none of the server nodes (the partitioned runner's
+    workers).  Shard ``i`` lives on node ``shard_nodes[i]``.
+    """
+
+    def __init__(self, shard_nodes: Sequence[int]):
+        if not shard_nodes:
+            raise ValueError("a ShardDirectory needs at least one shard")
+        if len(set(shard_nodes)) != len(shard_nodes):
+            raise ValueError(
+                f"shards must live on distinct nodes, got {list(shard_nodes)}")
+        self.shard_nodes = list(shard_nodes)
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shard_nodes)
+
+    def __repr__(self) -> str:
+        return f"<ShardDirectory nodes={self.shard_nodes}>"
+
+
 class ShardedClient(RpcClient):
     """An :class:`~repro.workloads.rpc.RpcClient` that routes each request
     to a shard through its balancer.
@@ -256,7 +282,8 @@ class ShardedClient(RpcClient):
     what keeps a ``least_pending`` view truthful under drops.
     """
 
-    def __init__(self, endpoint: RpcEndpoint, service: ShardedService,
+    def __init__(self, endpoint: RpcEndpoint,
+                 service: "ShardedService | ShardDirectory",
                  balancer: Balancer, keys: Iterator[int], *,
                  arrivals: ArrivalSpec, seed: int, n_requests: int,
                  req_bytes: int = 64, work_ns: int = 0,

@@ -121,6 +121,37 @@ class Reservoir:
             "max_ns": None if empty else max(self.samples),
         }
 
+    def merge(self, other: "Reservoir") -> None:
+        """Fold another reservoir into this one (partition-merge path).
+
+        Unbounded reservoirs concatenate, which is exact: the merged
+        multiset equals the one a single-process run would have recorded,
+        so nearest-rank quantiles come out identical.  Bounded reservoirs
+        keep a deterministic evenly-spaced subsample of the combined order
+        statistics — rank error is at most ``1/(2*capacity)``, inside the
+        nearest-rank tolerance the merge tests pin.
+        """
+        self.count += other.count
+        self.total += other.total
+        combined = self.samples + other.samples
+        if self.capacity is not None and len(combined) > self.capacity:
+            combined.sort()
+            n, cap = len(combined), self.capacity
+            combined = [combined[((2 * i + 1) * n) // (2 * cap)]
+                        for i in range(cap)]
+        self.samples = combined
+
+    def snapshot(self) -> dict:
+        """Picklable state for cross-process merge (see :meth:`restore`)."""
+        return {"samples": list(self.samples), "count": self.count,
+                "total": self.total}
+
+    def restore(self, state: dict) -> None:
+        """Adopt a :meth:`snapshot` (used on freshly built merge targets)."""
+        self.samples = list(state["samples"])
+        self.count = state["count"]
+        self.total = state["total"]
+
     def __len__(self) -> int:
         return len(self.samples)
 
@@ -139,7 +170,7 @@ class WorkloadStats:
     the report rather than something to reconstruct from logs.
     """
 
-    def __init__(self, env: "Environment", name: str = "workload",
+    def __init__(self, env: Optional["Environment"], name: str = "workload",
                  n_shards: int = 0, sample_interval_ns: int = 0):
         if n_shards < 0:
             raise ValueError(f"n_shards must be non-negative, got {n_shards}")
@@ -250,6 +281,68 @@ class WorkloadStats:
         sub = self._shard(shard)
         if sub is not None:
             sub.note_queue_wait(wait_ns)
+
+    # -- cross-process merge ----------------------------------------------------
+    def snapshot(self) -> dict:
+        """Everything :meth:`report` needs, as picklable primitives.
+
+        Partition workers ship snapshots over their pipe at the end of a
+        partitioned run; :meth:`merged` folds them back into one stats
+        object whose report is identical to a single-process run's:
+        counters sum exactly, reservoirs concatenate (exact multisets for
+        the unbounded reservoirs the workload uses), and the first-send /
+        last-done marks take min/max.
+        """
+        return {
+            "counters": self.counters.as_dict(),
+            "latency": self.latency.snapshot(),
+            "queue_wait": self.queue_wait.snapshot(),
+            "queue_depth": list(self.queue_depth),
+            "t_first_send": self.t_first_send,
+            "t_last_done": self.t_last_done,
+            "shards": [shard.snapshot() for shard in self.shards],
+        }
+
+    def absorb(self, snap: dict) -> None:
+        """Fold one worker's :meth:`snapshot` into this object."""
+        for key, value in sorted(snap["counters"].items()):
+            self.counters.add(key, value)
+        other = Reservoir(self.latency.name)
+        other.restore(snap["latency"])
+        self.latency.merge(other)
+        other = Reservoir(self.queue_wait.name)
+        other.restore(snap["queue_wait"])
+        self.queue_wait.merge(other)
+        self.queue_depth.extend(tuple(s) for s in snap["queue_depth"])
+        if snap["t_first_send"] is not None:
+            if (self.t_first_send is None
+                    or snap["t_first_send"] < self.t_first_send):
+                self.t_first_send = snap["t_first_send"]
+        if snap["t_last_done"] is not None:
+            if (self.t_last_done is None
+                    or snap["t_last_done"] > self.t_last_done):
+                self.t_last_done = snap["t_last_done"]
+        if len(snap["shards"]) != len(self.shards):
+            raise ValueError(
+                f"snapshot has {len(snap['shards'])} shards, "
+                f"target has {len(self.shards)}")
+        for shard, shard_snap in zip(self.shards, snap["shards"]):
+            shard.absorb(shard_snap)
+
+    @classmethod
+    def merged(cls, snapshots, name: str = "workload",
+               n_shards: int = 0) -> "WorkloadStats":
+        """A report-only stats object folding worker snapshots together.
+
+        The result has no environment bound (``note_*`` must not be called
+        on it); fold order is the caller's worker order, which only affects
+        internal sample-list order — every report field is order-invariant
+        (sums, min/max, sorted-rank quantiles).
+        """
+        stats = cls(None, name=name, n_shards=n_shards)
+        for snap in snapshots:
+            stats.absorb(snap)
+        return stats
 
     # -- derived ----------------------------------------------------------------
     @property

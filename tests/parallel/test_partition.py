@@ -1,0 +1,86 @@
+"""Partition plans, boundary capture, and the mesh they cut along."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.params import LinkParams
+from repro.hardware.topology import switch_mesh
+from repro.parallel.partition import PartitionPlan, edge_id
+from repro.workloads.runner import MACHINES
+
+
+LINK = MACHINES["ppro"].link
+TRUNK = LinkParams(bandwidth=LINK.bandwidth, propagation_ns=8_000,
+                   slots=LINK.slots)
+
+
+def plan(n_hosts=8, n_groups=4, n_partitions=2, trunk=TRUNK):
+    return PartitionPlan(switch_mesh(n_hosts, n_groups), n_partitions,
+                         LINK, trunk)
+
+
+class TestSwitchMesh:
+    def test_shape(self):
+        topo = switch_mesh(8, 4)
+        assert topo.n_hosts == 8
+        assert topo.n_switches == 4
+        # Full mesh: every switch pair joined, hosts split 2 per switch.
+        for j in range(4):
+            neighbors = list(topo.switch_neighbors(j))
+            switches = [n for n in neighbors if n[0] == "s"]
+            hosts = [n for n in neighbors if n[0] == "h"]
+            assert len(switches) == 3
+            assert sorted(n[1] for n in hosts) == [2 * j, 2 * j + 1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            switch_mesh(8, 0)
+        with pytest.raises(ValueError):
+            switch_mesh(1, 1)
+        with pytest.raises(ValueError):
+            switch_mesh(9, 2)   # uneven split
+
+
+class TestPartitionPlan:
+    def test_contiguous_switch_blocks_and_hosts_follow(self):
+        p = plan(n_hosts=8, n_groups=4, n_partitions=2)
+        assert [p.switch_partition(j) for j in range(4)] == [0, 0, 1, 1]
+        assert p.hosts_of(0) == [0, 1, 2, 3]
+        assert p.hosts_of(1) == [4, 5, 6, 7]
+
+    def test_cut_edges_are_cross_partition_trunks_only(self):
+        p = plan(n_hosts=8, n_groups=4, n_partitions=2)
+        # Mesh over {0,1} x {2,3}: 4 undirected cuts = 8 directed edges;
+        # intra-partition trunks (0-1, 2-3) are not cut.
+        assert len(p.cut_edges) == 8
+        assert edge_id(("s", 0), ("s", 2)) in p.cut_edges
+        assert edge_id(("s", 0), ("s", 1)) not in p.cut_edges
+        for eid, (src, dst) in p.cut_edges.items():
+            assert p.owner(src) != p.owner(dst)
+            assert p.dest_partition(eid) == p.owner(dst)
+
+    def test_lookahead_is_min_cut_propagation(self):
+        assert plan().lookahead_ns == TRUNK.propagation_ns
+        assert plan(n_partitions=1).lookahead_ns == 0   # no cuts
+
+    def test_fully_partitioned_mesh(self):
+        p = plan(n_hosts=8, n_groups=4, n_partitions=4)
+        # Every trunk is now a cut: 6 undirected = 12 directed edges.
+        assert len(p.cut_edges) == 12
+        assert p.hosts_of(3) == [6, 7]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan(n_partitions=0)
+        with pytest.raises(ValueError):
+            plan(n_groups=4, n_partitions=3)   # 4 switches over 3 parts
+        with pytest.raises(ValueError):
+            # Zero-latency trunks leave no lookahead window.
+            plan(trunk=LinkParams(bandwidth=LINK.bandwidth,
+                                  propagation_ns=1, slots=LINK.slots))
+
+    def test_plans_are_identical_across_derivations(self):
+        a, b = plan(), plan()
+        assert a.cut_edges == b.cut_edges
+        assert a.lookahead_ns == b.lookahead_ns

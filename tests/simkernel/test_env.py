@@ -131,3 +131,30 @@ class TestRunModes:
         event = env.event()
         with pytest.raises(ValueError, match="past"):
             env.schedule(event, delay=-5)
+
+
+class TestGcRestoredOnError:
+    """A crashing model must never leave the cyclic GC disabled.
+
+    ``run()`` pauses the collector for the drain and restores it in a
+    ``finally`` — pinned here for each of the three ``until`` forms by
+    raising out of a process mid-run.
+    """
+
+    @staticmethod
+    def _boom(env):
+        def proc():
+            yield env.timeout(10)
+            raise RuntimeError("boom")
+        env.process(proc(), name="boom")
+
+    @pytest.mark.parametrize("until", [None, 100, "event"])
+    def test_gc_enabled_after_mid_run_exception(self, env, until):
+        import gc
+        self._boom(env)
+        if until == "event":
+            until = env.timeout(100)
+        assert gc.isenabled()
+        with pytest.raises(RuntimeError, match="boom"):
+            env.run(until=until)
+        assert gc.isenabled()

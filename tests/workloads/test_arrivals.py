@@ -7,8 +7,8 @@ import itertools
 import numpy as np
 import pytest
 
-from repro.workloads.arrivals import (Bursty, ClosedLoop, OpenLoop,
-                                      client_rng, gap_stream)
+from repro.workloads.arrivals import (AggregateOpenLoop, Bursty, ClosedLoop,
+                                      OpenLoop, client_rng, gap_stream)
 
 
 def take(stream, n):
@@ -98,3 +98,53 @@ class TestShapes:
         for gap in take(gap_stream(spec, seed=4, client="c"), 500):
             t += gap
             assert t % period < spec.on_ns, f"arrival at {t} is in an off-window"
+
+
+class TestAggregateOpenLoop:
+    def test_population_one_matches_plain_open_loop(self):
+        # A 1-client aggregate is the same Poisson process: draw-for-draw
+        # identical to OpenLoop at the same rate, seed and client name.
+        plain = take(gap_stream(OpenLoop(rate_rps=50_000.0),
+                                seed=3, client="c"), 300)
+        aggregate = take(gap_stream(
+            AggregateOpenLoop(rate_rps=50_000.0, population=1),
+            seed=3, client="c"), 300)
+        assert aggregate == plain
+
+    def test_batch_size_never_changes_the_sequence(self):
+        spec = {"rate_rps": 100.0, "population": 500}
+        reference = take(gap_stream(
+            AggregateOpenLoop(batch=4096, **spec), seed=9, client="c"), 1000)
+        for batch in (1, 7, 256):
+            got = take(gap_stream(
+                AggregateOpenLoop(batch=batch, **spec), seed=9, client="c"),
+                1000)
+            assert got == reference, f"batch={batch} changed the draws"
+
+    def test_aggregate_rate_is_superposed(self):
+        spec = AggregateOpenLoop(rate_rps=10.0, population=10_000)
+        assert spec.aggregate_rate_rps == 100_000.0
+        gaps = take(gap_stream(spec, seed=2, client="c"), 4000)
+        assert all(g >= 1 for g in gaps)
+        assert np.mean(gaps) == pytest.approx(spec.mean_gap_ns, rel=0.05)
+
+    def test_fixed_rate_aggregate(self):
+        spec = AggregateOpenLoop(rate_rps=1000.0, population=1000,
+                                 poisson=False)
+        assert take(gap_stream(spec, seed=1, client="c"), 20) == [1000] * 20
+
+    def test_determinism(self):
+        spec = AggregateOpenLoop(rate_rps=25.0, population=4000)
+        a = take(gap_stream(spec, seed=6, client="client3"), 500)
+        b = take(gap_stream(spec, seed=6, client="client3"), 500)
+        assert a == b
+        c = take(gap_stream(spec, seed=6, client="client4"), 500)
+        assert a != c
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AggregateOpenLoop(rate_rps=0.0, population=10)
+        with pytest.raises(ValueError):
+            AggregateOpenLoop(rate_rps=10.0, population=0)
+        with pytest.raises(ValueError):
+            AggregateOpenLoop(rate_rps=10.0, population=10, batch=0)

@@ -13,6 +13,7 @@ from repro.workloads.sharding import (
     HashRing,
     LeastPending,
     RoundRobin,
+    ShardDirectory,
     key_stream,
     make_balancer,
 )
@@ -196,3 +197,16 @@ class TestShardedRuns:
             "shard_policies": ["queue", "shed"],
         })
         assert spec.shard_policies == ("queue", "shed")
+
+
+class TestShardDirectory:
+    def test_directory_carries_placement(self):
+        directory = ShardDirectory([0, 4, 8])
+        assert directory.n_shards == 3
+        assert directory.shard_nodes == [0, 4, 8]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardDirectory([])
+        with pytest.raises(ValueError):
+            ShardDirectory([1, 2, 1])
