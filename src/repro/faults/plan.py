@@ -70,6 +70,11 @@ class LinkFault:
     def active(self, now: int) -> bool:
         return self.start_ns <= now < self.end_ns
 
+    @property
+    def label(self) -> str:
+        """Stable episode label for windowed reports."""
+        return f"link_fault:{self.link}"
+
 
 @dataclass(frozen=True)
 class NicStall:
@@ -98,6 +103,12 @@ class NicStall:
 
     def active(self, now: int) -> bool:
         return self.start_ns <= now < self.end_ns
+
+    @property
+    def label(self) -> str:
+        """Stable episode label for windowed reports."""
+        node = "*" if self.node is None else f"node{self.node}"
+        return f"nic_stall:{node}:{self.side}"
 
 
 @dataclass(frozen=True)
@@ -130,6 +141,12 @@ class CpuSlow:
     def active(self, now: int) -> bool:
         return self.start_ns <= now < self.end_ns
 
+    @property
+    def label(self) -> str:
+        """Stable episode label for windowed reports."""
+        node = "*" if self.node is None else f"node{self.node}"
+        return f"cpu_slow:{node}"
+
 
 Episode = Union[LinkFault, NicStall, CpuSlow]
 
@@ -161,6 +178,11 @@ class FaultPlan:
     @property
     def cpu_slows(self) -> tuple:
         return tuple(e for e in self.episodes if isinstance(e, CpuSlow))
+
+    def windows(self) -> tuple[tuple[str, int, int], ...]:
+        """Every episode as ``(label, start_ns, end_ns)`` — the windows a
+        during-fault availability report scores, in plan order."""
+        return tuple((e.label, e.start_ns, e.end_ns) for e in self.episodes)
 
     def __len__(self) -> int:
         return len(self.episodes)

@@ -16,16 +16,26 @@ the standard ``Cluster.observe()`` / ``Cluster.inject_faults()`` pattern.
 
 from repro.workloads.arrivals import (ArrivalSpec, Bursty, ClosedLoop,
                                       OpenLoop, client_rng, gap_stream)
+from repro.workloads.replication import (ReplicatedClient,
+                                         ReplicatedDirectory,
+                                         ReplicatedService, ShardHealth,
+                                         ShardSupervisor)
 from repro.workloads.rpc import (RPC_EXPIRED, RPC_OK, RPC_SHED, RpcClient,
                                  RpcEndpoint, RpcServer)
-from repro.workloads.runner import PRESETS, Scenario, run_scenario
+from repro.workloads.runner import PRESET_PLANS, PRESETS, Scenario, \
+    run_scenario
+from repro.workloads.sharding import (HashRing, ShardDirectory,
+                                      ShardedClient, ShardedService)
 from repro.workloads.stats import Reservoir, WorkloadStats
 
 __all__ = [
     "ArrivalSpec", "Bursty", "ClosedLoop", "OpenLoop", "client_rng",
     "gap_stream",
+    "ReplicatedClient", "ReplicatedDirectory", "ReplicatedService",
+    "ShardHealth", "ShardSupervisor",
     "RPC_EXPIRED", "RPC_OK", "RPC_SHED", "RpcClient", "RpcEndpoint",
     "RpcServer",
-    "PRESETS", "Scenario", "run_scenario",
+    "PRESET_PLANS", "PRESETS", "Scenario", "run_scenario",
+    "HashRing", "ShardDirectory", "ShardedClient", "ShardedService",
     "Reservoir", "WorkloadStats",
 ]

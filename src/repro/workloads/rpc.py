@@ -122,11 +122,16 @@ class RpcEndpoint:
                        Optional["TraceContext"], int, Optional[int]]] = {}
         #: Server side: requests parsed by the handler, awaiting the pump.
         self.inbox: deque[Request] = deque()
-        #: Responses that arrived after the client abandoned the request.
+        #: Responses that arrived after the client abandoned (or failed
+        #: over) the request.
         self.stale_responses = 0
         #: Optional ``(req_id, shard)`` callback fired exactly once per
-        #: request when it resolves (response landed or client abandoned)
-        #: — how a load balancer keeps its in-flight view honest.
+        #: request when it resolves (response landed, client abandoned, or
+        #: the request failed over to another replica) — how a load
+        #: balancer keeps its in-flight view honest.  Set it through
+        #: :meth:`set_on_resolved`: the endpoint carries exactly one
+        #: in-flight view, and silently replacing it would corrupt the
+        #: previous owner's accounting.
         self.on_resolved = None
         self._next_req_id = 0
         if self.is_fm1:
@@ -136,12 +141,28 @@ class RpcEndpoint:
             self.request_handler = self.fm.register_handler(self._request_fm2)
             self.response_handler = self.fm.register_handler(self._response_fm2)
 
+    def set_on_resolved(self, callback) -> None:
+        """Install the exactly-once resolution callback (fail-loud).
+
+        An endpoint has one in-flight view; a second owner (another
+        balancer, a prober) silently replacing the first would leak the
+        original's issued credits forever.  Raise instead — sharing an
+        endpoint between independent request issuers is a bug.
+        """
+        if self.on_resolved is not None:
+            raise RuntimeError(
+                f"node {self.node.node_id}'s RpcEndpoint already has an "
+                "on_resolved callback; a second issuer on the same endpoint "
+                "would corrupt the first one's in-flight accounting")
+        self.on_resolved = callback
+
     # -- send side ---------------------------------------------------------
     def send_request(self, server: int, work_ns: int, payload_len: int,
                      deadline_ns: int = 0,
                      t_intended: Optional[int] = None,
                      shard: Optional[int] = None,
-                     key: Optional[int] = None) -> Generator:
+                     key: Optional[int] = None,
+                     retry: bool = False) -> Generator:
         """Issue one request; returns ``(req_id, completion event)``.
 
         The event fires with ``(status, response payload len)`` when the
@@ -151,6 +172,9 @@ class RpcEndpoint:
         than a slowed clock.  ``shard`` tags the request for per-shard
         accounting and the ``on_resolved`` balancer callback; ``key`` is
         the balancer's routing key, recorded on the trace for attribution.
+        ``retry=True`` marks a failover re-issue of an already-counted
+        logical request: it records ``retried`` instead of ``sent``, so
+        ``completed + drops == sent`` stays an invariant across retries.
 
         When the run is observed this is also where each request's trace
         is minted: the context is bound around the FM send (so every span
@@ -178,7 +202,10 @@ class RpcEndpoint:
         else:
             yield from self._send(server, self.request_handler, header,
                                   payload_len)
-        self.stats.note_sent(REQ_HEADER.size + payload_len, shard=shard)
+        if retry:
+            self.stats.note_retried(shard=shard)
+        else:
+            self.stats.note_sent(REQ_HEADER.size + payload_len, shard=shard)
         return req_id, event
 
     def send_response(self, dest: int, req_id: int, status: int,
@@ -233,6 +260,27 @@ class RpcEndpoint:
         self._finish_trace(ctx, req_id, "abandoned", t_sent, shard, key)
         if self.on_resolved is not None:
             self.on_resolved(req_id, shard)
+
+    def fail_over(self, req_id: int) -> bool:
+        """Give up on ``req_id`` *on this replica* ahead of a retry.
+
+        Unlike :meth:`abandon`, the logical request is not lost — it is
+        about to be re-issued to another replica — so nothing is counted
+        as dropped; only a ``failover`` is recorded.  The ``on_resolved``
+        callback still fires exactly once for this attempt (returning the
+        balancer's in-flight credit on the failed shard), and a late
+        response from the failed replica lands as a stale duplicate.
+        Returns ``False`` when ``req_id`` already resolved.
+        """
+        entry = self.pending.pop(req_id, None)
+        if entry is None:
+            return False
+        _t, _event, shard, ctx, t_sent, key = entry
+        self.stats.note_failover(shard=shard)
+        self._finish_trace(ctx, req_id, "failover", t_sent, shard, key)
+        if self.on_resolved is not None:
+            self.on_resolved(req_id, shard)
+        return True
 
     def _finish_trace(self, ctx: Optional["TraceContext"], req_id: int,
                       status: str, t_sent: int, shard: Optional[int],
@@ -499,31 +547,44 @@ class RpcClient:
             if env.now < t_next:
                 yield env.timeout(t_next - env.now)
             deadline = t_next + self.deadline_ns if self.deadline_ns else 0
+            t_sent = env.now
             req_id, event = yield from self._issue(deadline, t_intended=t_next)
-            outstanding.append((req_id, event))
+            outstanding.append((req_id, event, t_sent))
         self._sending = False
-        for req_id, event in outstanding:
-            yield from self._await(req_id, event)
+        for req_id, event, t_sent in outstanding:
+            yield from self._await(req_id, event, t_sent)
 
     def _closed_loop(self) -> Generator:
         """Send, wait for the response, think, repeat."""
         env = self.env
         for _ in range(self.n_requests):
             deadline = env.now + self.deadline_ns if self.deadline_ns else 0
+            t_sent = env.now
             req_id, event = yield from self._issue(deadline)
-            yield from self._await(req_id, event)
+            yield from self._await(req_id, event, t_sent)
             think = next(self._gaps)
             if think:
                 yield env.timeout(think)
         self._sending = False
 
-    def _await(self, req_id: int, event) -> Generator:
+    def _await(self, req_id: int, event, t_sent: int) -> Generator:
+        """Wait for ``req_id`` to resolve, abandoning at its own deadline.
+
+        The abandon budget is anchored at the request's *send* time, not
+        at the moment the drain loop reaches it: a request late in the
+        outstanding list whose ``t_sent + abandon_after_ns`` already
+        passed is abandoned immediately, instead of being granted a fresh
+        full budget per drain position (under overload the old behaviour
+        effectively never abandoned).
+        """
         if event.triggered:
             return
         if self.abandon_after_ns is None:
             yield event
             return
-        yield self.env.any_of([event, self.env.timeout(self.abandon_after_ns)])
+        remaining = t_sent + self.abandon_after_ns - self.env.now
+        if remaining > 0:
+            yield self.env.any_of([event, self.env.timeout(remaining)])
         if not event.triggered:
             self.endpoint.abandon(req_id)
 

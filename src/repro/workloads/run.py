@@ -17,7 +17,10 @@ and diffed.
 deterministic :class:`~repro.faults.plan.FaultPlan` of NIC firmware
 stalls into the run; ``--trace FILE`` exports the observed spans (with
 causal flow arrows) as a Perfetto/Chrome trace-event file, validated
-before it is written.
+before it is written.  Some presets carry a built-in fault plan
+(``PRESET_PLANS`` — e.g. ``rpc-replicated-failover``'s NicStall window);
+those compose automatically unless ``--no-fault`` or an explicit
+``--nic-stall`` overrides them.
 """
 
 from __future__ import annotations
@@ -31,7 +34,8 @@ from typing import Optional, Sequence
 from repro.obs.export import dumps_deterministic, export_trace, trace_events, \
     validate_trace_events
 
-from repro.workloads.runner import PRESETS, Scenario, execute_scenario
+from repro.workloads.runner import PRESET_PLANS, PRESETS, Scenario, \
+    execute_scenario
 
 
 def parse_nic_stall(text: str):
@@ -87,6 +91,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
              "(repeatable; composes a deterministic FaultPlan)",
     )
     parser.add_argument(
+        "--no-fault", action="store_true",
+        help="suppress a preset's built-in fault plan (some presets, e.g. "
+             "rpc-replicated-failover, compose a NicStall window by "
+             "default)",
+    )
+    parser.add_argument(
+        "--replicas", default=None, type=int, metavar="R",
+        help="override the scenario's replication factor (R >= 2 places "
+             "each key on R ring-successor shards with supervised "
+             "failover; 1 = unreplicated)",
+    )
+    parser.add_argument(
         "--partitions", default=None, type=int, metavar="N",
         help="override the scenario's worker-process count (0 = serial "
              "in-process; N > 0 needs a partition_groups scenario); the "
@@ -116,16 +132,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             parser.error(f"unknown preset {opts.preset!r}; "
                          f"choices: {', '.join(sorted(PRESETS))}")
         scenario = PRESETS[opts.preset]
-    if opts.partitions is not None:
+    if opts.partitions is not None or opts.replicas is not None:
         from dataclasses import replace
 
-        scenario = replace(scenario, partitions=opts.partitions)
+        overrides = {}
+        if opts.partitions is not None:
+            overrides["partitions"] = opts.partitions
+        if opts.replicas is not None:
+            overrides["replicas"] = opts.replicas
+        scenario = replace(scenario, **overrides)
 
     plan = None
     if opts.nic_stall:
         from repro.faults.plan import FaultPlan
 
         plan = FaultPlan(seed=scenario.seed, episodes=tuple(opts.nic_stall))
+    elif opts.preset in PRESET_PLANS and not opts.no_fault:
+        plan = PRESET_PLANS[opts.preset]
     observe = opts.observe or opts.trace is not None
     outcome = execute_scenario(scenario, plan=plan, observe=observe)
     if opts.trace is not None:

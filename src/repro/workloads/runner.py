@@ -34,6 +34,7 @@ from typing import Optional
 
 from repro.cluster.cluster import Cluster
 from repro.configs import PPRO_FM2, SPARC_FM1
+from repro.faults.plan import FaultPlan, NicStall
 from repro.hardware.params import LinkParams
 from repro.hardware.topology import Topology, switch_mesh
 
@@ -45,6 +46,12 @@ from repro.workloads.arrivals import (
     Bursty,
     ClosedLoop,
     OpenLoop,
+)
+from repro.workloads.replication import (
+    ReplicatedClient,
+    ReplicatedDirectory,
+    ShardHealth,
+    ShardSupervisor,
 )
 from repro.workloads.rpc import RpcClient, RpcEndpoint, RpcServer, VALID_POLICIES
 from repro.workloads.sharding import (
@@ -97,6 +104,12 @@ class Scenario:
     n_keys: int = 512                # request key universe per client
     key_skew: float = 0.0            # 0 = uniform; >0 = Zipf-like hot keys
     shard_policies: Optional[tuple] = None   # per-shard override of policy
+    # -- rpc: replication & failover (replicas >= 2 places each key on R
+    # -- ring-successor shards, carves the last client node out as the
+    # -- ShardSupervisor's, and clients fail timed-out requests over) ------
+    replicas: int = 1
+    probe_interval_ns: int = 150_000   # supervisor probe cadence
+    failover_timeout_ns: int = 250_000  # per-attempt client retry clock
     # -- halo / allreduce --------------------------------------------------
     iterations: int = 50
     halo_bytes: int = 256
@@ -156,6 +169,42 @@ class Scenario:
                     raise ValueError(
                         f"shard policy must be one of {VALID_POLICIES}, "
                         f"got {policy!r}")
+        if self.replicas < 1:
+            raise ValueError(f"replicas must be positive, got {self.replicas}")
+        if self.probe_interval_ns < 1:
+            raise ValueError(f"probe_interval_ns must be positive, "
+                             f"got {self.probe_interval_ns}")
+        if self.failover_timeout_ns < 1:
+            raise ValueError(f"failover_timeout_ns must be positive, "
+                             f"got {self.failover_timeout_ns}")
+        if self.replicas > 1:
+            if self.kind != "rpc":
+                raise ValueError("replicas > 1 needs kind='rpc'")
+            if self.servers < 2:
+                raise ValueError(
+                    "replicas > 1 needs a sharded service (servers >= 2): "
+                    "a single server has nowhere to fail over to")
+            if self.replicas > self.servers:
+                raise ValueError(
+                    f"replicas {self.replicas} exceeds the {self.servers} "
+                    "shards available")
+            if self.balancer != "static":
+                raise ValueError(
+                    "replicated routing is ring-placement + health based; "
+                    f"balancer must be 'static', got {self.balancer!r}")
+            if self.n_nodes - self.servers < 2:
+                raise ValueError(
+                    f"replicas > 1 carves one node out for the supervisor: "
+                    f"{self.n_nodes} nodes minus {self.servers} servers "
+                    "leaves no workload client beside it")
+            if self.partitions:
+                raise ValueError(
+                    "replication is serial-only: the shared health map and "
+                    "the supervisor need one global event view")
+            if self.population:
+                raise ValueError(
+                    "replication does not compose with aggregate client "
+                    "populations yet")
         if self.sample_interval_ns < 0:
             raise ValueError(f"sample_interval_ns must be non-negative, "
                              f"got {self.sample_interval_ns}")
@@ -417,6 +466,58 @@ def _run_rpc(cluster: Cluster, scenario: Scenario,
     cluster.run(programs, until_ns=scenario.until_ns)
 
 
+def _run_rpc_replicated(cluster: Cluster, scenario: Scenario,
+                        stats: WorkloadStats) -> ShardSupervisor:
+    """The ``replicas >= 2`` rpc path: replicated clients, a shared
+    health map, and a :class:`ShardSupervisor` on the last client node.
+
+    The supervisor's endpoint is bound to its own stats object, so probe
+    traffic — real messages on the same fabric — never pollutes the
+    workload's counters or time series.  Returns the supervisor so the
+    report can include the control-plane story.
+    """
+    server_nodes, client_nodes = placement(scenario)
+    supervisor_node = client_nodes[-1]
+    client_nodes = client_nodes[:-1]
+    probe_stats = WorkloadStats(cluster.env, name=f"probe.{scenario.name}")
+    # Endpoints on every node, in node order (SPMD handler registration).
+    endpoints = [
+        RpcEndpoint(node,
+                    probe_stats if node.node_id == supervisor_node else stats)
+        for node in cluster.nodes]
+    for shard, node_id in enumerate(server_nodes):
+        build_server(scenario, endpoints[node_id], stats, shard=shard).start()
+    directory = ReplicatedDirectory(
+        server_nodes, ShardHealth(cluster.env, scenario.servers),
+        replicas=scenario.replicas, vnodes=scenario.vnodes)
+    supervisor = ShardSupervisor(
+        endpoints[supervisor_node], directory,
+        probe_interval_ns=scenario.probe_interval_ns,
+        probe_timeout_ns=scenario.failover_timeout_ns,
+        workload_stats=stats,
+        availability_target=scenario.slo_availability)
+    supervisor.start()
+    clients = [
+        ReplicatedClient(
+            endpoints[node_id], directory,
+            make_balancer("static", scenario.servers, scenario.vnodes),
+            key_stream(scenario.seed, f"client{node_id}", scenario.n_keys,
+                       scenario.key_skew),
+            failover_timeout_ns=scenario.failover_timeout_ns,
+            arrivals=scenario.arrival_spec(), seed=scenario.seed,
+            n_requests=scenario.n_requests, req_bytes=scenario.req_bytes,
+            work_ns=scenario.work_ns, deadline_ns=scenario.deadline_ns,
+            abandon_after_ns=scenario.abandon_after_ns,
+            name=f"client{node_id}")
+        for node_id in client_nodes
+    ]
+    programs: list = [None] * cluster.n_nodes
+    for node_id, client in zip(client_nodes, clients):
+        programs[node_id] = (lambda node, client=client: client.run())
+    cluster.run(programs, until_ns=scenario.until_ns)
+    return supervisor
+
+
 def _run_mpi(cluster: Cluster, scenario: Scenario,
              stats: WorkloadStats) -> None:
     from repro.upper.mpi.world import build_mpi_world
@@ -464,6 +565,11 @@ def scenario_report_dict(scenario: Scenario) -> dict:
     with ``==``."""
     spec = asdict(scenario)
     del spec["partitions"]
+    if scenario.replicas == 1:
+        # Unreplicated runs keep the pre-replication report schema
+        # byte-identical: the knobs only exist once replication is on.
+        for name in ("replicas", "probe_interval_ns", "failover_timeout_ns"):
+            del spec[name]
     return spec
 
 
@@ -503,8 +609,12 @@ def execute_scenario(scenario: Scenario, plan=None,
                           sample_interval_ns=scenario.sample_interval_ns)
     if observer is not None:
         stats.federate(observer.metrics)
+    supervisor = None
     if scenario.kind == "rpc":
-        _run_rpc(cluster, scenario, stats)
+        if scenario.replicas > 1:
+            supervisor = _run_rpc_replicated(cluster, scenario, stats)
+        else:
+            _run_rpc(cluster, scenario, stats)
     else:
         _run_mpi(cluster, scenario, stats)
     report = {
@@ -515,11 +625,25 @@ def execute_scenario(scenario: Scenario, plan=None,
     specs = scenario.slo_specs()
     if specs:
         report["slo"] = evaluate_slos(stats.timeseries, specs)
+    if supervisor is not None:
+        report["replication"] = {
+            "replicas": scenario.replicas,
+            "probe_interval_ns": scenario.probe_interval_ns,
+            "failover_timeout_ns": scenario.failover_timeout_ns,
+            "failovers": stats.counters["failover"],
+            "retried": stats.counters["retried"],
+            **supervisor.result(),
+        }
     if injector is not None:
         report["faults"] = {
             "events": len(injector.events),
             "counters": dict(sorted(injector.counters.as_dict().items())),
         }
+        if plan is not None:
+            windows = stats.fault_window_report(plan.windows()) \
+                if stats is not None else None
+            if windows is not None:
+                report["fault_windows"] = windows
     return ScenarioOutcome(scenario, cluster, stats, report,
                            observer, injector)
 
@@ -595,9 +719,55 @@ PRESETS = {
                                    n_requests=1, req_bytes=64,
                                    resp_bytes=64, work_ns=1_000,
                                    workers=4, queue_capacity=64),
+    # The replication headline: 4 shards with R=2 ring-successor
+    # placement, 5 closed-loop clients, a supervisor probing every 150 us,
+    # and (via PRESET_PLANS) a 3 ms NicStall blacking out node 1's NIC.
+    # Clients fail timed-out requests over to the backup replica, so
+    # availability inside the fault window stays >= 0.99 — the
+    # ``fault_windows`` report section is the number to read.
+    "rpc-replicated-failover": Scenario(name="rpc-replicated-failover",
+                                        kind="rpc", arrival="closed",
+                                        n_nodes=10, servers=4, replicas=2,
+                                        balancer="static", think_ns=30_000,
+                                        n_requests=150, req_bytes=256,
+                                        resp_bytes=256, work_ns=0,
+                                        abandon_after_ns=400_000,
+                                        probe_interval_ns=150_000,
+                                        failover_timeout_ns=250_000,
+                                        sample_interval_ns=250_000,
+                                        slo_availability=0.99),
+    # The unreplicated control: same clients (nodes 4..8, so identical
+    # key/arrival draws), same NicStall window, R=1 — the stalled shard's
+    # key range blacks out (clients burn the abandon budget per hit) and
+    # fault-window availability craters.  Diff against the preset above.
+    "rpc-sharded-blackout": Scenario(name="rpc-sharded-blackout",
+                                     kind="rpc", arrival="closed",
+                                     n_nodes=9, servers=4,
+                                     balancer="static", think_ns=30_000,
+                                     n_requests=150, req_bytes=256,
+                                     resp_bytes=256, work_ns=0,
+                                     abandon_after_ns=400_000,
+                                     sample_interval_ns=250_000,
+                                     slo_availability=0.99),
     "mpi-halo": Scenario(name="mpi-halo", kind="halo", iterations=30,
                          halo_bytes=256, compute_ns=5_000),
     "mpi-allreduce": Scenario(name="mpi-allreduce", kind="allreduce",
                               iterations=20, grad_bytes=4096,
                               compute_ns=10_000),
+}
+
+#: The NicStall window both fault presets compose: node 1's NIC takes an
+#: extra 400 us per packet for 3 ms — long past the failover timeout, so
+#: the shard on node 1 is effectively dead for the window.
+_FAILOVER_STALL = NicStall(node=1, start_ns=2_000_000, end_ns=5_000_000,
+                           extra_ns=400_000)
+
+#: Fault plans that belong with a preset: the CLI composes these
+#: automatically (unless overridden with --nic-stall / --no-fault), so
+#: ``python -m repro.workloads.run rpc-replicated-failover`` is the whole
+#: failover story in one command.
+PRESET_PLANS = {
+    "rpc-replicated-failover": FaultPlan(seed=1,
+                                         episodes=(_FAILOVER_STALL,)),
+    "rpc-sharded-blackout": FaultPlan(seed=1, episodes=(_FAILOVER_STALL,)),
 }

@@ -71,8 +71,15 @@ def key_stream(seed: int, client: str, n_keys: int,
             yield int(rng.integers(0, n_keys))
     weights = 1.0 / np.arange(1, n_keys + 1, dtype=np.float64) ** skew
     p = weights / weights.sum()
+    # Precomputed CDF + one uniform draw per key: O(log n_keys) per draw
+    # instead of ``rng.choice(n_keys, p=p)``'s O(n_keys) cumsum per call.
+    # The normalisation below replicates Generator.choice exactly
+    # (cumsum, then divide by the last partial sum), so the drawn stream
+    # is draw-for-draw identical to the old one (pinned by test).
+    cdf = p.cumsum()
+    cdf /= cdf[-1]
     while True:
-        yield int(rng.choice(n_keys, p=p))
+        yield int(cdf.searchsorted(rng.random(), side="right"))
 
 
 class HashRing:
@@ -103,6 +110,29 @@ class HashRing:
         h = _h32(key.to_bytes(8, "little", signed=True))
         i = bisect_right(self._hashes, h) % len(self._hashes)
         return self._owners[i]
+
+    def successors(self, key: int, r: int) -> tuple[int, ...]:
+        """The first ``r`` *distinct* shards at or after ``key`` on the ring.
+
+        ``successors(key, 1) == (lookup(key),)`` — the primary — and each
+        further entry is the next distinct owner walking clockwise: the
+        classic replica-placement rule, so a key's backup set is stable
+        under the same ring that places its primary.
+        """
+        if not 1 <= r <= self.n_shards:
+            raise ValueError(
+                f"r must be in [1, {self.n_shards}], got {r}")
+        h = _h32(key.to_bytes(8, "little", signed=True))
+        start = bisect_right(self._hashes, h)
+        n = len(self._owners)
+        replicas: list[int] = []
+        for step in range(n):
+            owner = self._owners[(start + step) % n]
+            if owner not in replicas:
+                replicas.append(owner)
+                if len(replicas) == r:
+                    break
+        return tuple(replicas)
 
     def __repr__(self) -> str:
         return f"<HashRing shards={self.n_shards} vnodes={self.vnodes}>"
@@ -302,7 +332,10 @@ class ShardedClient(RpcClient):
         self.service = service
         self.balancer = balancer
         self._keys = keys
-        endpoint.on_resolved = self._on_resolved
+        # Fail-loud registration: a second client (or a prober) sharing
+        # this endpoint would silently corrupt this balancer's in-flight
+        # view if it could replace the callback.
+        endpoint.set_on_resolved(self._on_resolved)
 
     def _issue(self, deadline_ns: int,
                t_intended: Optional[int] = None) -> Generator:

@@ -263,6 +263,27 @@ class WorkloadStats:
         if sub is not None:
             sub.note_dropped(kind)
 
+    def note_failover(self, shard: Optional[int] = None) -> None:
+        """Count one failover: a request gave up on ``shard`` and moved to
+        another replica.  Not a drop — the logical request is still live —
+        so it never touches the ``drops`` series the availability SLO
+        reads; the failed shard's trouble shows up on its own series."""
+        self.counters.add("failover")
+        self._series("rate", "failovers", 1, shard)
+        sub = self._shard(shard)
+        if sub is not None:
+            sub.note_failover()
+
+    def note_retried(self, shard: Optional[int] = None) -> None:
+        """Count one failover re-issue (the send following a failover).
+        Logical request counts (``sent``) are untouched: the request was
+        already counted when first issued."""
+        self.counters.add("retried")
+        self._series("rate", "retries", 1, shard)
+        sub = self._shard(shard)
+        if sub is not None:
+            sub.note_retried()
+
     def note_queue_depth(self, depth: int, shard: Optional[int] = None) -> None:
         """Sample the server queue depth observed at dequeue time."""
         self.queue_depth.append((self.env.now, depth))
@@ -392,6 +413,69 @@ class WorkloadStats:
         if mean == 0:
             return None
         return max(completed) / mean
+
+    def fault_window_report(self, windows) -> Optional[dict]:
+        """Availability and goodput *during* fault episodes, per episode.
+
+        ``windows`` is ``(label, start_ns, end_ns)`` triples — the fault
+        injector's episode windows.  Each episode is scored over the
+        time-series windows it overlaps (requires ``sample_interval_ns``;
+        returns ``None`` without a bank or without traffic): availability
+        is ``completed / (completed + drops)`` of the requests *resolved*
+        inside the episode, goodput is the delivered response payload over
+        the episode span, and sharded runs add the per-shard availability
+        split — the number that shows one shard blacking out while the
+        aggregate keeps serving.  A pure function of the bank's contents,
+        so reruns stay byte-identical.
+        """
+        bank = self.timeseries
+        if bank is None or not windows:
+            return None
+        span = bank.window_range()
+        if span is None:
+            return None
+        rows = []
+        for label, start_ns, end_ns in windows:
+            first = max(start_ns // bank.interval_ns, span[0])
+            last = min((end_ns - 1) // bank.interval_ns, span[1])
+            if last < first:
+                continue
+            idx = range(first, last + 1)
+            rows.append({
+                "episode": label,
+                "start_ns": start_ns,
+                "end_ns": min(end_ns, (span[1] + 1) * bank.interval_ns),
+                **self._window_availability(idx),
+                **({"shards": [
+                    self._window_availability(idx, shard=i)
+                    for i in range(len(self.shards))]}
+                   if self.shards else {}),
+            })
+        if not rows:
+            return None
+        return {"interval_ns": bank.interval_ns, "episodes": rows}
+
+    def _window_availability(self, idx, shard: Optional[int] = None) -> dict:
+        """Good/bad/goodput totals over time-series windows ``idx``."""
+        bank = self.timeseries
+        labels = {} if shard is None else {"shard": str(shard)}
+        completed = bank.rate("completed", **labels)
+        drops = bank.rate("drops", **labels)
+        delivered = bank.rate("delivered_bytes", **labels)
+        good = sum(completed.window_sum(i) for i in idx)
+        bad = sum(drops.window_sum(i) for i in idx)
+        nbytes = sum(delivered.window_sum(i) for i in idx)
+        duration_ns = len(idx) * bank.interval_ns
+        out = {
+            "completed": good,
+            "drops": bad,
+            "availability": (None if good + bad == 0
+                             else round(good / (good + bad), 4)),
+            "goodput_mbs": round(nbytes / (duration_ns / 1e9) / 1e6, 4),
+        }
+        if shard is not None:
+            out = {"shard": shard, **out}
+        return out
 
     def report(self) -> dict:
         """The deterministic per-run report fragment.

@@ -135,13 +135,16 @@ class TestStaleResponses:
         server = RpcServer(endpoints[0], stats, workers=1,
                            queue_capacity=8, policy="deadline")
         server.start()
-        # 50us of service against a 30us deadline and a 10us abandonment:
+        # 50us of service against a 30us deadline and a 12us abandonment:
         # the client walks away long before any response (OK for the first
         # request, EXPIRED for queued ones) can land — but keeps issuing,
         # so its pump is still extracting when the late responses arrive.
+        # (Abandon budgets anchor at send time, so the client's lifetime
+        # is exactly n_requests x 12us; 12us keeps it past the ~57us the
+        # first late response needs to come back.)
         client = RpcClient(endpoints[1], 0, arrivals=ClosedLoop(0), seed=2,
                            n_requests=8, work_ns=50_000, deadline_ns=30_000,
-                           abandon_after_ns=10_000)
+                           abandon_after_ns=12_000)
         cluster.run([None, lambda node: client.run()])
 
         endpoint = endpoints[1]
@@ -158,6 +161,47 @@ class TestStaleResponses:
         assert stats.latency.count == 0
         assert (counters["completed"] + stats.drops()
                 == counters["sent"])
+
+
+class TestAbandonAnchoring:
+    def test_open_loop_drain_abandons_on_send_anchored_budgets(self):
+        """Regression: the abandon budget anchors at *send* time.
+
+        The drain loop used to grant every outstanding request a fresh
+        full ``abandon_after_ns`` from the moment the loop reached it, so
+        under overload abandonment ran serially — total drain time grew
+        as ~n x budget and late requests effectively never abandoned.
+        Anchored correctly, every request whose budget already expired
+        abandons the instant the drain reaches it, and the whole run ends
+        within one budget of the last send.
+        """
+        from repro.cluster.cluster import Cluster
+        from repro.configs import PPRO_FM2
+        from repro.workloads.arrivals import OpenLoop
+        from repro.workloads.rpc import RpcClient, RpcEndpoint, RpcServer
+        from repro.workloads.stats import WorkloadStats
+
+        cluster = Cluster(2, machine=PPRO_FM2, fm_version=2)
+        stats = WorkloadStats(cluster.env, name="anchor")
+        endpoints = [RpcEndpoint(node, stats) for node in cluster.nodes]
+        server = RpcServer(endpoints[0], stats, workers=1,
+                           queue_capacity=16, policy="queue")
+        server.start()
+        # 10 sends ~10us apart against 200us of service: by drain time
+        # every budget (50us) is long expired.
+        client = RpcClient(endpoints[1], 0,
+                           arrivals=OpenLoop(100_000.0), seed=3,
+                           n_requests=10, work_ns=200_000,
+                           abandon_after_ns=50_000)
+        cluster.run([None, lambda node: client.run()])
+
+        counters = stats.counters
+        assert counters["abandoned"] == 10
+        assert counters["completed"] == 0
+        assert not endpoints[1].pending
+        # Send-anchored: the run ends within one budget of the last send
+        # (~100us of sends + 50us), not after ten serial budgets (~600us).
+        assert cluster.env.now < 300_000
 
 
 class TestMpiKinds:

@@ -56,6 +56,25 @@ class TestHashRing:
         with pytest.raises(ValueError):
             HashRing(2, vnodes=0)
 
+    def test_successors_start_at_the_primary_and_are_distinct(self):
+        ring = HashRing(4, vnodes=64)
+        for key in range(500):
+            replicas = ring.successors(key, 3)
+            assert replicas[0] == ring.lookup(key)
+            assert len(set(replicas)) == 3
+            assert ring.successors(key, 1) == (ring.lookup(key),)
+
+    def test_successors_cover_the_whole_ring_at_full_r(self):
+        ring = HashRing(4, vnodes=64)
+        assert sorted(ring.successors(7, 4)) == [0, 1, 2, 3]
+
+    def test_successors_rejects_bad_r(self):
+        ring = HashRing(3)
+        with pytest.raises(ValueError):
+            ring.successors(0, 0)
+        with pytest.raises(ValueError):
+            ring.successors(0, 4)
+
 
 class TestBalancers:
     def test_round_robin_cycles(self):
@@ -107,6 +126,26 @@ class TestKeyStream:
         top = range(8)
         assert (sum(k in top for k in skewed)
                 > 2 * sum(k in top for k in uniform))
+
+    def test_zipf_cdf_draws_match_the_old_choice_stream(self):
+        # The precomputed-CDF draw must be draw-for-draw identical to the
+        # ``rng.choice(n, p=p)`` it replaced (Generator.choice internally
+        # cumsums p, renormalises by the last partial sum, and
+        # searchsorts one uniform variate — exactly what key_stream now
+        # precomputes), so every historical skewed report stays
+        # byte-identical.
+        import numpy as np
+
+        from repro.workloads.arrivals import client_rng
+
+        n_keys, skew = 96, 1.3
+        new = list(itertools.islice(
+            key_stream(9, "pin", n_keys, skew), 500))
+        rng = client_rng(9, "keys:pin")
+        weights = 1.0 / np.arange(1, n_keys + 1, dtype=np.float64) ** skew
+        p = weights / weights.sum()
+        old = [int(rng.choice(n_keys, p=p)) for _ in range(500)]
+        assert new == old
 
 
 class TestShardedRuns:
@@ -197,6 +236,35 @@ class TestShardedRuns:
             "shard_policies": ["queue", "shed"],
         })
         assert spec.shard_policies == ("queue", "shed")
+
+
+class TestOnResolvedRegistration:
+    def test_second_issuer_on_one_endpoint_fails_loudly(self):
+        # Regression: ShardedClient.__init__ used to overwrite
+        # endpoint.on_resolved unconditionally — a second client (or a
+        # prober) sharing the endpoint silently corrupted the first
+        # balancer's in-flight view.  Now registration raises.
+        from repro.cluster.cluster import Cluster
+        from repro.configs import PPRO_FM2
+        from repro.workloads.arrivals import ClosedLoop
+        from repro.workloads.rpc import RpcEndpoint
+        from repro.workloads.sharding import ShardedClient
+        from repro.workloads.stats import WorkloadStats
+
+        cluster = Cluster(3, machine=PPRO_FM2, fm_version=2)
+        stats = WorkloadStats(cluster.env, name="w", n_shards=2)
+        endpoints = [RpcEndpoint(node, stats) for node in cluster.nodes]
+        directory = ShardDirectory([0, 1])
+
+        def build():
+            return ShardedClient(
+                endpoints[2], directory, make_balancer("round_robin", 2),
+                key_stream(1, "c", 16), arrivals=ClosedLoop(0), seed=1,
+                n_requests=4)
+
+        build()
+        with pytest.raises(RuntimeError, match="already has an on_resolved"):
+            build()
 
 
 class TestShardDirectory:
