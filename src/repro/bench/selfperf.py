@@ -161,12 +161,26 @@ def partitioned_parallel_workload() -> tuple[int, int]:
     return report["sim_end_ns"], details["events"]
 
 
+def dataflow_workload() -> tuple[int, int]:
+    """The ``dataflow-rollup`` preset end to end: 3 sources feeding 4
+    hash-partitioned window lanes over FM2 streams, credits pacing every
+    hop — the streaming engine's representative self-performance point.
+
+    Returns ``(simulated_ns, scheduled_events)``.
+    """
+    from repro.workloads.runner import PRESETS, execute_scenario
+
+    outcome = execute_scenario(PRESETS["dataflow-rollup"])
+    return outcome.report["sim_end_ns"], outcome.cluster.env.scheduled_events
+
+
 #: Workloads the ``--profile`` flag can target.
 PROFILE_WORKLOADS: dict[str, Callable[[], tuple[int, int]]] = {
     "kernel": kernel_workload,
     "stack": stack_workload,
     "stack_obs": stack_obs_workload,
     "partitioned": partitioned_serial_workload,
+    "dataflow": dataflow_workload,
 }
 
 
@@ -216,6 +230,7 @@ def measure(repeats: int = 5) -> dict:
     pser_s, pser_events = _time_min(partitioned_serial_workload, part_repeats)
     ppar_s, ppar_events = _time_min(partitioned_parallel_workload,
                                     part_repeats)
+    dflow_s, dflow_events = _time_min(dataflow_workload, repeats)
     return {
         "kernel": {
             "events": kernel_events,
@@ -251,6 +266,13 @@ def measure(repeats: int = 5) -> dict:
             "parallel_events_per_sec": int(ppar_events / ppar_s),
             "parallel_speedup": round(pser_s / ppar_s, 2),
         },
+        "dataflow_rollup": {
+            # The streaming engine on its tier-1 preset: kernel events per
+            # wall second with windows, fan-out, and credit pacing live.
+            "events": dflow_events,
+            "min_seconds": round(dflow_s, 4),
+            "events_per_sec": int(dflow_events / dflow_s),
+        },
     }
 
 
@@ -275,7 +297,9 @@ def build_document(current: dict) -> dict:
             "time ratio vs stack); partitioned = one grouped 2000-client "
             "aggregate scenario serial vs 4 worker processes, min of 2 "
             "repeats (parallel_speedup is wall-clock and machine-relative: "
-            "it cannot exceed the cpu count, and reads < 1x on 1 core)"
+            "it cannot exceed the cpu count, and reads < 1x on 1 core); "
+            "dataflow_rollup = the dataflow-rollup preset (3 sources, 4 "
+            "hash window lanes, spread over 8 nodes) end to end"
         ),
     }
 
@@ -327,6 +351,9 @@ def main(argv: list[str] | None = None) -> int:
     part = current["partitioned"]
     print(f"partitioned: {part['parallel_speedup']:.2f}x wall-clock at "
           f"{part['partitions']} workers on {part['cpus']} cpus")
+    dflow = current["dataflow_rollup"]
+    print(f"dataflow: {dflow['events_per_sec']:>8,} events/sec "
+          f"(rollup preset)")
     print(f"wrote {args.output}")
     return 0
 

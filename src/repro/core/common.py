@@ -177,12 +177,18 @@ class FmEndpoint:
         #: layers (MPI) install their progress engine here — the paper's
         #: "interlayer scheduling" applied to deadlock avoidance.
         self.stall_hook: Optional[Callable[[], Generator]] = None
+        #: Invoked ``(dest, waited_ns)`` — plain call, no simulated cost —
+        #: when a credit-stall episode ends.  Receive-pacing layers (the
+        #: dataflow engine) install an attributor here to charge the stall
+        #: to whatever stage was sending; ``None`` costs nothing.
+        self.on_credit_stall: Optional[Callable[[int, int], None]] = None
         # Statistics.
         self.stats_sent_messages = 0
         self.stats_sent_packets = 0
         self.stats_recv_packets = 0
         self.stats_recv_messages = 0
         self.stats_credit_stalls = 0
+        self.stats_credit_stall_ns = 0
         self.stats_credit_packets = 0
 
     def register_handler(self, handler: Callable) -> int:
@@ -235,11 +241,15 @@ class FmEndpoint:
                     f"credits to send to node {dest} (protocol deadlock?)"
                 )
         self._credits[dest] -= 1
-        if obs is not None and stalled:
-            obs.span("fm", "credit_stall", t0,
-                     track=f"node{self.node_id}/fm", dest=dest)
-            obs.metrics.histogram("fm.credit_stall_ns").record(
-                self.env.now - t0)
+        if stalled:
+            stall_ns = self.env.now - t0
+            self.stats_credit_stall_ns += stall_ns
+            if self.on_credit_stall is not None:
+                self.on_credit_stall(dest, stall_ns)
+            if obs is not None:
+                obs.span("fm", "credit_stall", t0,
+                         track=f"node{self.node_id}/fm", dest=dest)
+                obs.metrics.histogram("fm.credit_stall_ns").record(stall_ns)
 
     # -- packet construction and injection -----------------------------------------
     def make_header(self, dest: int, handler_id: int, msg_id: int, seq: int,

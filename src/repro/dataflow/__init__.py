@@ -1,0 +1,24 @@
+"""Streaming dataflow over FM 2.x streams with credit-native backpressure.
+
+A pipeline is a DAG of *stages* (sources, operators, sinks) built with the
+:class:`~repro.dataflow.graph.Stream` API and placed on cluster nodes.
+Every cross-node edge rides FM2 messages; every stage owns a bounded input
+queue.  When a queue fills, the node's pump stops extracting, the FM
+receive region fills, credit returns stop, and upstream senders stall in
+``acquire_credit`` — FM's own flow control *is* the backpressure, hop by
+hop, with no new protocol machinery (the paper's layering argument applied
+to a continuous-processing workload).
+
+Entry points:
+
+* :func:`~repro.dataflow.graph.StreamGraph` / ``Stream`` — build the DAG.
+* :func:`~repro.dataflow.engine.run_pipeline` — place, wire, run, report.
+* ``Scenario(kind="pipeline", ...)`` in :mod:`repro.workloads.runner` —
+  the workload-layer integration (presets ``dataflow-rollup``,
+  ``dataflow-scatter-gather``).
+"""
+
+from repro.dataflow.graph import Stream, StreamGraph
+from repro.dataflow.engine import build_pipeline_graph, run_pipeline
+
+__all__ = ["Stream", "StreamGraph", "build_pipeline_graph", "run_pipeline"]

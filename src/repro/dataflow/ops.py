@@ -1,0 +1,150 @@
+"""Named operators and windowed aggregation state.
+
+Operators are looked up by name so a pipeline stays pure data (a
+:class:`~repro.workloads.runner.Scenario` is JSON-round-trippable and a
+stage spec only carries strings/ints).  All operators are pure functions
+of ``(key, value)`` — registering new ones is one dict entry.
+
+:class:`WindowState` implements tumbling and sliding processing-time
+windows over the record stream, sized in simulated nanoseconds.  Flushing
+is *lazy*: windows close when a later record (or end-of-stream) observes
+time past their boundary, so the state machine never owns a timer and the
+whole pipeline stays event-driven.  Aggregates are emitted in sorted key
+order per boundary — determinism by construction, no dict-order luck.
+
+Conservation accounting under overlap: a sliding window of width W =
+k * slide folds every record into k overlapping windows, which would
+break the ``sum(counts) == records`` invariant if each emission counted
+its full membership.  Each record's ``count`` is therefore *attributed*
+exactly once — to the first window closing after its arrival bucket —
+while the aggregated ``value`` still spans the full window.  Tumbling
+windows (k = 1) degenerate to the obvious semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+#: Pure (key, value) -> (key, value) transforms.
+MAP_OPS: dict[str, Callable[[int, int], tuple[int, int]]] = {
+    "identity": lambda k, v: (k, v),
+    "double": lambda k, v: (k, 2 * v),
+    "negate": lambda k, v: (k, -v),
+    "square_mod": lambda k, v: (k, (v * v) % 1_000_003),
+}
+
+#: Pure (key, value) -> keep? predicates.
+FILTER_OPS: dict[str, Callable[[int, int], bool]] = {
+    "all": lambda k, v: True,
+    "even_keys": lambda k, v: k % 2 == 0,
+    "odd_keys": lambda k, v: k % 2 == 1,
+    "positive": lambda k, v: v > 0,
+}
+
+#: Per-key aggregation folds: (accumulated, incoming) -> accumulated.
+AGG_OPS: dict[str, Callable[[int, int], int]] = {
+    "sum": lambda acc, v: acc + v,
+    "max": lambda acc, v: acc if acc >= v else v,
+    "min": lambda acc, v: acc if acc <= v else v,
+    "count": lambda acc, v: acc + 1,
+}
+
+
+def lookup(registry: dict, name: str, what: str):
+    """Resolve an operator by name, with a helpful error listing choices."""
+    if name not in registry:
+        raise ValueError(f"unknown {what} {name!r}; "
+                         f"choices: {', '.join(sorted(registry))}")
+    return registry[name]
+
+
+class WindowState:
+    """Lazy tumbling/sliding window aggregation for one stage.
+
+    One instance per window stage.  :meth:`add` folds a record and returns
+    any aggregates whose windows closed; :meth:`final_flush` closes every
+    window still holding attributed-but-unemitted records at end of
+    stream.  A pure function of the ``(record, now)`` call sequence.
+    """
+
+    def __init__(self, width_ns: int, slide_ns: int, agg: str):
+        if width_ns < 1:
+            raise ValueError(f"window width must be positive, got {width_ns}")
+        slide_ns = slide_ns or width_ns
+        if slide_ns < 1 or width_ns % slide_ns:
+            raise ValueError(
+                f"slide {slide_ns} must be positive and divide the "
+                f"window width {width_ns}")
+        self.slide_ns = slide_ns
+        #: Buckets per window (1 = tumbling).
+        self.k = width_ns // slide_ns
+        self.agg_name = agg
+        self.agg = lookup(AGG_OPS, agg, "aggregation")
+        #: bucket index -> {key: [value_acc, count, max_ts]}
+        self.buckets: dict[int, dict[int, list]] = {}
+        self._last_flushed: Optional[int] = None
+
+    def add(self, key: int, value: int, count: int, ts: int,
+            now: int) -> list[tuple]:
+        """Fold one record in at simulated time ``now``; returns the
+        aggregates of every window that closed strictly before ``now``'s
+        bucket."""
+        b = now // self.slide_ns
+        out: list[tuple] = []
+        if self._last_flushed is None:
+            self._last_flushed = b  # nothing earlier to close
+        elif b > self._last_flushed:
+            out = self._flush_through(b)
+        bucket = self.buckets.setdefault(b, {})
+        cell = bucket.get(key)
+        if cell is None:
+            seed = 1 if self.agg_name == "count" else value
+            bucket[key] = [seed, count, ts]
+        else:
+            cell[0] = self.agg(cell[0], value)
+            cell[1] += count
+            if ts > cell[2]:
+                cell[2] = ts
+        return out
+
+    def final_flush(self) -> list[tuple]:
+        """Close everything still buffered (end of stream)."""
+        if not self.buckets:
+            return []
+        return self._flush_through(max(self.buckets) + 1)
+
+    def _flush_through(self, b: int) -> list[tuple]:
+        out: list[tuple] = []
+        for boundary in range(self._last_flushed + 1, b + 1):
+            out.extend(self._close(boundary))
+            # Bucket boundary-k was last visible to this window; drop it.
+            self.buckets.pop(boundary - self.k, None)
+        self._last_flushed = b
+        return out
+
+    def _close(self, boundary: int) -> Iterator[tuple]:
+        """Aggregates of the window ending at ``boundary`` (may be empty).
+
+        Values aggregate over the full window span; counts and timestamps
+        are attributed from bucket ``boundary-1`` alone (see module doc).
+        """
+        merged: dict[int, list] = {}
+        attributed = self.buckets.get(boundary - 1, {})
+        # Bucket accumulators are per-record folds; combining *buckets*
+        # needs the associative merge of the fold (counts add, the rest
+        # merge with their own fold).
+        merge = AGG_OPS["sum"] if self.agg_name == "count" else self.agg
+        for i in range(boundary - self.k, boundary):
+            for key, (value, _count, ts) in self.buckets.get(i, {}).items():
+                cell = merged.get(key)
+                if cell is None:
+                    merged[key] = [value, 0, ts]
+                else:
+                    cell[0] = merge(cell[0], value)
+                    if ts > cell[2]:
+                        cell[2] = ts
+        for key, cell in attributed.items():
+            merged[key][1] = cell[1]
+        for key in sorted(merged):
+            value, count, ts = merged[key]
+            yield (key, value, count, ts)

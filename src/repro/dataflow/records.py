@@ -1,0 +1,69 @@
+"""The dataflow wire format: fixed-size records framed per edge.
+
+A *record* is the quadruple ``(key, value, count, ts)`` of signed 64-bit
+ints.  ``count`` carries conservation accounting: raw records from a
+source have ``count=1``; a window aggregate folds N contributions and
+carries ``count=N``, so ``sum(counts at the sinks) + filtered-away counts
+== records emitted by the sources`` is an exact, checkable invariant.
+``ts`` is the origin timestamp (max over members for aggregates) — the
+sink's end-to-end latency sample is ``now - ts``.
+
+On the wire a batch of records for one edge is one FM2 message::
+
+    EDGE_HEADER (edge_id, n_records, flags) | n_records * RECORD | padding
+
+Padding inflates the per-record wire footprint to the scenario's
+``req_bytes`` (>= RECORD.size), modelling fatter application records
+without simulating their bytes in Python.  The receive handler scatters
+only header + records out of the stream and leaves the padding
+unconsumed — FM 2.x explicitly allows a handler to extract less than the
+full message (§4.2), which is exactly the receiver-side economy the
+paper's gather/scatter interface buys.
+
+``flags & EOS_FLAG`` marks the *last* message on an edge; its records
+(if any) precede the end-of-stream marker.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable
+
+#: (key, value, count, ts) — all int64.
+RECORD = struct.Struct("<qqqq")
+
+#: (edge_id, n_records, flags) — per-message edge framing.
+EDGE_HEADER = struct.Struct("<iii")
+
+#: Header flag: this message ends its edge's stream.
+EOS_FLAG = 1
+
+#: Smallest legal per-record wire footprint.
+MIN_RECORD_BYTES = RECORD.size
+
+
+class Eos:
+    """In-queue end-of-stream marker for one edge (never hits the wire
+    as a record; cross-node edges signal it via ``EOS_FLAG``)."""
+
+    __slots__ = ("edge_id",)
+
+    def __init__(self, edge_id: int):
+        self.edge_id = edge_id
+
+    def __repr__(self) -> str:
+        return f"<Eos edge={self.edge_id}>"
+
+
+def pack_message(edge_id: int, records: Iterable[tuple], flags: int,
+                 record_bytes: int) -> bytes:
+    """Serialise one edge message (header + records + padding)."""
+    body = b"".join(RECORD.pack(*record) for record in records)
+    n_records = len(body) // RECORD.size
+    pad = n_records * (record_bytes - RECORD.size)
+    return EDGE_HEADER.pack(edge_id, n_records, flags) + body + b"\0" * pad
+
+
+def message_bytes(n_records: int, record_bytes: int) -> int:
+    """Wire size of a message carrying ``n_records``."""
+    return EDGE_HEADER.size + n_records * record_bytes

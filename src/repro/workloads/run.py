@@ -3,7 +3,8 @@
     python -m repro.workloads.run rpc-open                 # named preset
     python -m repro.workloads.run --spec scenario.json     # your own spec
     python -m repro.workloads.run rpc-closed -o report.json
-    python -m repro.workloads.run list                     # show presets
+    python -m repro.workloads.run --list-presets           # names + blurbs
+    python -m repro.workloads.run list                     # preset shapes
     python -m repro.workloads.run rpc-sharded-slo \\
         --nic-stall 1:2000000:6000000:120000 --trace trace.json
 
@@ -34,8 +35,8 @@ from typing import Optional, Sequence
 from repro.obs.export import dumps_deterministic, export_trace, trace_events, \
     validate_trace_events
 
-from repro.workloads.runner import PRESET_PLANS, PRESETS, Scenario, \
-    execute_scenario
+from repro.workloads.runner import PRESET_DESCRIPTIONS, PRESET_PLANS, \
+    PRESETS, Scenario, execute_scenario
 
 
 def parse_nic_stall(text: str):
@@ -73,6 +74,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--spec", default=None, metavar="FILE",
         help="JSON file of Scenario fields (instead of a preset)",
+    )
+    parser.add_argument(
+        "--list-presets", action="store_true",
+        help="print every preset name with a one-line description and exit",
     )
     parser.add_argument(
         "--observe", action="store_true",
@@ -114,6 +119,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     opts = parser.parse_args(argv)
 
+    if opts.list_presets:
+        width = max(len(name) for name in PRESETS)
+        for name in sorted(PRESETS):
+            description = PRESET_DESCRIPTIONS.get(name, "")
+            print(f"{name:<{width}}  {description}")
+        return 0
     if opts.preset == "list":
         for name in sorted(PRESETS):
             scenario = PRESETS[name]

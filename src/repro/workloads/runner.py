@@ -21,6 +21,12 @@ Workload kinds:
   overload policies come from ``shard_policies``.
 * ``halo`` — all nodes run the halo-exchange stencil over MPI-FM.
 * ``allreduce`` — all nodes run the data-parallel training step.
+* ``pipeline`` — a streaming dataflow DAG (:mod:`repro.dataflow`): the
+  scenario's ``pipeline`` shape (``rollup`` windowed aggregation or
+  ``scatter_gather`` load balancing) with ``n_sources`` arrival-driven
+  sources fanning out over ``branches`` lanes, placed per
+  ``stage_placement`` (``spread`` / ``colocate``); bounded stage queues
+  make FM credit flow control the backpressure.
 
 Determinism: the report is a pure function of ``(scenario, plan)``.  Two
 calls with equal specs produce byte-identical JSON (pinned by the smoke
@@ -34,6 +40,10 @@ from typing import Optional
 
 from repro.cluster.cluster import Cluster
 from repro.configs import PPRO_FM2, SPARC_FM1
+
+# repro.dataflow is imported lazily (inside the pipeline-validation and
+# execution paths): its stats module reaches back into repro.workloads,
+# so a module-level import here would be circular.
 from repro.faults.plan import FaultPlan, NicStall
 from repro.hardware.params import LinkParams
 from repro.hardware.topology import Topology, switch_mesh
@@ -64,7 +74,7 @@ from repro.workloads.sharding import (
 from repro.workloads.stats import WorkloadStats
 
 MACHINES = {"sparc": SPARC_FM1, "ppro": PPRO_FM2}
-KINDS = ("rpc", "halo", "allreduce")
+KINDS = ("rpc", "halo", "allreduce", "pipeline")
 ARRIVALS = ("open", "open-fixed", "closed", "bursty")
 
 
@@ -115,6 +125,18 @@ class Scenario:
     halo_bytes: int = 256
     grad_bytes: int = 4096
     compute_ns: int = 5_000
+    # -- pipeline (kind="pipeline"; reuses arrival/rate_rps per source,
+    # -- n_requests as records per source, req_bytes as the per-record wire
+    # -- footprint, work_ns as interior per-record demand, queue_capacity
+    # -- as the bounded stage-queue depth, n_keys as the key universe) -----
+    pipeline: str = "rollup"         # rollup | scatter_gather
+    n_sources: int = 2
+    branches: int = 2                # fan-out lanes
+    window_ns: int = 200_000         # rollup window width
+    window_slide_ns: int = 0         # 0 = tumbling
+    partition_by: str = "hash"       # hash | round_robin fan-out selector
+    stage_placement: str = "spread"  # spread | colocate
+    sink_work_ns: int = 0            # per-record sink demand
     # -- telemetry: windowed time series + SLOs (0 / None = off) -----------
     sample_interval_ns: int = 0      # time-series window width
     slo_availability: Optional[float] = None   # e.g. 0.99 good fraction
@@ -290,6 +312,65 @@ class Scenario:
                     f"population {self.population} is smaller than the "
                     f"{n_clients} client nodes — every generator node "
                     "needs at least one simulated client")
+        from repro.dataflow.engine import PIPELINES, PLACEMENTS, \
+            required_nodes
+        from repro.dataflow.records import MIN_RECORD_BYTES
+
+        if self.pipeline not in PIPELINES:
+            raise ValueError(f"pipeline must be one of {PIPELINES}, "
+                             f"got {self.pipeline!r}")
+        if self.stage_placement not in PLACEMENTS:
+            raise ValueError(f"stage_placement must be one of {PLACEMENTS}, "
+                             f"got {self.stage_placement!r}")
+        if self.partition_by not in ("hash", "round_robin"):
+            raise ValueError(f"partition_by must be hash/round_robin, "
+                             f"got {self.partition_by!r}")
+        if self.n_sources < 1:
+            raise ValueError(f"n_sources must be positive, got {self.n_sources}")
+        if self.branches < 1:
+            raise ValueError(f"branches must be positive, got {self.branches}")
+        if self.window_ns < 1:
+            raise ValueError(f"window_ns must be positive, got {self.window_ns}")
+        if self.window_slide_ns < 0 or (
+                self.window_slide_ns and self.window_ns % self.window_slide_ns):
+            raise ValueError(
+                f"window_slide_ns must be 0 (tumbling) or divide window_ns "
+                f"{self.window_ns}, got {self.window_slide_ns}")
+        if self.sink_work_ns < 0:
+            raise ValueError(f"sink_work_ns must be non-negative, "
+                             f"got {self.sink_work_ns}")
+        if self.kind == "pipeline":
+            if self.fm_version != 2:
+                raise ValueError(
+                    "pipelines ride FM 2.x streams (gather/scatter + "
+                    "extract pacing); fm_version must be 2")
+            if self.arrival == "closed":
+                raise ValueError(
+                    "pipeline sources are one-way streams with no "
+                    "responses to close the loop on; arrival must be "
+                    "open/open-fixed/bursty")
+            if self.req_bytes < MIN_RECORD_BYTES:
+                raise ValueError(
+                    f"req_bytes is the per-record wire footprint and must "
+                    f"be >= {MIN_RECORD_BYTES}, got {self.req_bytes}")
+            need = required_nodes(self.pipeline, self.n_sources,
+                                  self.branches, self.stage_placement)
+            if self.n_nodes < need:
+                raise ValueError(
+                    f"{self.stage_placement!r} placement of this pipeline "
+                    f"needs >= {need} nodes, got {self.n_nodes}")
+            if self.servers != 1 or self.replicas != 1:
+                raise ValueError(
+                    "sharding/replication are rpc concepts; pipelines "
+                    "express parallelism as branches")
+            if self.population or self.partition_groups or self.partitions:
+                raise ValueError(
+                    "pipelines are serial-only and unpartitioned for now "
+                    "(population/partition_groups/partitions must be 0)")
+            if self.sample_interval_ns or has_slo:
+                raise ValueError(
+                    "pipeline telemetry is per-stage (queue depth + credit "
+                    "stalls); time-series sampling and SLOs are rpc-only")
 
     def slo_specs(self) -> tuple[SloSpec, ...]:
         """The declarative SLOs this scenario evaluates: one aggregate
@@ -570,6 +651,13 @@ def scenario_report_dict(scenario: Scenario) -> dict:
         # byte-identical: the knobs only exist once replication is on.
         for name in ("replicas", "probe_interval_ns", "failover_timeout_ns"):
             del spec[name]
+    if scenario.kind != "pipeline":
+        # Same pattern for the dataflow knobs: non-pipeline reports keep
+        # their pre-dataflow schema byte-identical.
+        for name in ("pipeline", "n_sources", "branches", "window_ns",
+                     "window_slide_ns", "partition_by", "stage_placement",
+                     "sink_work_ns"):
+            del spec[name]
     return spec
 
 
@@ -602,24 +690,39 @@ def execute_scenario(scenario: Scenario, plan=None,
                       trunk_params=trunk)
     injector = cluster.inject_faults(plan) if plan is not None else None
     observer = cluster.observe() if observe else None
-    n_shards = (scenario.servers
-                if scenario.kind == "rpc" and scenario.servers > 1 else 0)
-    stats = WorkloadStats(cluster.env, name=f"workload.{scenario.name}",
-                          n_shards=n_shards,
-                          sample_interval_ns=scenario.sample_interval_ns)
+    if scenario.kind == "pipeline":
+        from repro.dataflow.stats import PipelineStats
+
+        stats = PipelineStats(cluster.env,
+                              name=f"pipeline.{scenario.name}")
+    else:
+        n_shards = (scenario.servers
+                    if scenario.kind == "rpc" and scenario.servers > 1
+                    else 0)
+        stats = WorkloadStats(cluster.env, name=f"workload.{scenario.name}",
+                              n_shards=n_shards,
+                              sample_interval_ns=scenario.sample_interval_ns)
     if observer is not None:
         stats.federate(observer.metrics)
     supervisor = None
+    pipeline_run = None
     if scenario.kind == "rpc":
         if scenario.replicas > 1:
             supervisor = _run_rpc_replicated(cluster, scenario, stats)
         else:
             _run_rpc(cluster, scenario, stats)
+    elif scenario.kind == "pipeline":
+        from repro.dataflow.engine import run_pipeline
+
+        pipeline_run = run_pipeline(cluster, scenario, stats)
     else:
         _run_mpi(cluster, scenario, stats)
+    results = stats.report()
+    if pipeline_run is not None:
+        results["edges"] = pipeline_run.edge_report()
     report = {
         "scenario": scenario_report_dict(scenario),
-        "results": stats.report(),
+        "results": results,
         "sim_end_ns": cluster.now,
     }
     specs = scenario.slo_specs()
@@ -754,6 +857,70 @@ PRESETS = {
     "mpi-allreduce": Scenario(name="mpi-allreduce", kind="allreduce",
                               iterations=20, grad_bytes=4096,
                               compute_ns=10_000),
+    # The dataflow headline: 3 open-loop sources -> 4 hash-partitioned
+    # lanes of 200 us tumbling sum-rollup -> gathered sink, one stage per
+    # node (spread).  900 source records over ~3 ms; the report's
+    # conservation section proves sum(sink counts) == records emitted.
+    "dataflow-rollup": Scenario(name="dataflow-rollup", kind="pipeline",
+                                pipeline="rollup", arrival="open",
+                                n_nodes=8, n_sources=3, branches=4,
+                                rate_rps=100_000.0, n_requests=300,
+                                req_bytes=64, work_ns=500,
+                                window_ns=200_000, partition_by="hash",
+                                n_keys=32, queue_capacity=16),
+    # The load-balancing shape: 2 sources round-robin-scattered over 4
+    # map lanes (2 us per-record demand) and gathered into one sink.
+    "dataflow-scatter-gather": Scenario(name="dataflow-scatter-gather",
+                                        kind="pipeline",
+                                        pipeline="scatter_gather",
+                                        arrival="open", n_nodes=7,
+                                        n_sources=2, branches=4,
+                                        rate_rps=150_000.0, n_requests=400,
+                                        req_bytes=64, work_ns=2_000,
+                                        n_keys=64, queue_capacity=16),
+    # The rollup under fire: PRESET_PLANS stalls node 4 (interior window
+    # lane 1) 20 us/packet for 2 ms.  Backpressure, not loss: the stall
+    # surfaces as source-side credit stalls in the per-stage telemetry,
+    # conservation still holds, and until_ns turns any hang into a loud
+    # TimeoutError instead of a wedged run.
+    "dataflow-rollup-stall": Scenario(name="dataflow-rollup-stall",
+                                      kind="pipeline", pipeline="rollup",
+                                      arrival="open", n_nodes=8,
+                                      n_sources=3, branches=4,
+                                      rate_rps=100_000.0, n_requests=300,
+                                      req_bytes=64, work_ns=500,
+                                      window_ns=200_000,
+                                      partition_by="hash", n_keys=32,
+                                      queue_capacity=16,
+                                      until_ns=50_000_000),
+}
+
+#: One-line description per preset — what ``--list-presets`` prints
+#: (tests enforce full coverage of :data:`PRESETS`).
+PRESET_DESCRIPTIONS = {
+    "rpc-open": "open-loop Poisson RPC against a single server",
+    "rpc-closed": "closed-loop (think-time) RPC against a single server",
+    "rpc-incast": "bursty 5-client incast onto a shedding server",
+    "rpc-sharded": "saturating fan-out over 4 consistent-hash shards",
+    "rpc-sharded-skew": "4 shards under Zipf(1.2) hot-key skew",
+    "rpc-sharded-slo": "sharded RPC with time-series + SLO burn-rate "
+                       "telemetry armed",
+    "rpc-partitioned": "2-group switch mesh on 2 worker processes "
+                       "(byte-identical to serial)",
+    "rpc-aggregate-100k": "100k simulated open-loop clients on 4 worker "
+                          "processes",
+    "rpc-replicated-failover": "R=2 replicated shards + supervisor riding "
+                               "out a built-in NIC stall",
+    "rpc-sharded-blackout": "unreplicated control for the failover preset "
+                            "(same stall, availability craters)",
+    "mpi-halo": "MPI halo-exchange stencil over FM",
+    "mpi-allreduce": "data-parallel allreduce training step over FM",
+    "dataflow-rollup": "3 sources -> 4 hash lanes of windowed sum-rollup "
+                       "-> sink, spread placement",
+    "dataflow-scatter-gather": "2 sources round-robin-scattered over 4 "
+                               "map lanes, gathered into one sink",
+    "dataflow-rollup-stall": "the rollup with a built-in NIC stall on an "
+                             "interior lane (backpressure, zero drops)",
 }
 
 #: The NicStall window both fault presets compose: node 1's NIC takes an
@@ -770,4 +937,10 @@ PRESET_PLANS = {
     "rpc-replicated-failover": FaultPlan(seed=1,
                                          episodes=(_FAILOVER_STALL,)),
     "rpc-sharded-blackout": FaultPlan(seed=1, episodes=(_FAILOVER_STALL,)),
+    # Node 4 hosts rollup lane 1 under spread placement: an interior
+    # pipeline stage, not a source or the sink.  20 us per packet for 2 ms
+    # slows its receive path enough that FM credits pace the sources.
+    "dataflow-rollup-stall": FaultPlan(seed=1, episodes=(
+        NicStall(node=4, start_ns=500_000, end_ns=2_500_000,
+                 extra_ns=20_000),)),
 }
