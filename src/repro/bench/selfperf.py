@@ -161,6 +161,23 @@ def partitioned_parallel_workload() -> tuple[int, int]:
     return report["sim_end_ns"], details["events"]
 
 
+def rdma_put_bw_workload() -> tuple[int, int]:
+    """One-sided transport churn: 40 x 4 KB RDMA puts between two nodes.
+
+    The firmware-heavy counterpart of :func:`stack_workload`: every payload
+    chunk is matched and steered by the NIC engines with no host handler,
+    so this tracks the simulator's cost per *offloaded* packet.
+
+    Returns ``(simulated_ns, rdma write wire packets)``.
+    """
+    from repro.bench.rdma_bench import rdma_stream
+
+    cluster = Cluster(2, machine=PPRO_FM2, fm_version=2)
+    rdma_stream(cluster, 4096, n_messages=40)
+    packets = sum(node.nic.rdma_write_packets for node in cluster.nodes)
+    return cluster.env.now, packets
+
+
 def dataflow_workload() -> tuple[int, int]:
     """The ``dataflow-rollup`` preset end to end: 3 sources feeding 4
     hash-partitioned window lanes over FM2 streams, credits pacing every
@@ -181,6 +198,7 @@ PROFILE_WORKLOADS: dict[str, Callable[[], tuple[int, int]]] = {
     "stack_obs": stack_obs_workload,
     "partitioned": partitioned_serial_workload,
     "dataflow": dataflow_workload,
+    "rdma": rdma_put_bw_workload,
 }
 
 
@@ -231,6 +249,7 @@ def measure(repeats: int = 5) -> dict:
     ppar_s, ppar_events = _time_min(partitioned_parallel_workload,
                                     part_repeats)
     dflow_s, dflow_events = _time_min(dataflow_workload, repeats)
+    rdma_s, rdma_packets = _time_min(rdma_put_bw_workload, repeats)
     return {
         "kernel": {
             "events": kernel_events,
@@ -273,6 +292,13 @@ def measure(repeats: int = 5) -> dict:
             "min_seconds": round(dflow_s, 4),
             "events_per_sec": int(dflow_events / dflow_s),
         },
+        "rdma_put_bw": {
+            # The one-sided transport: 40 x 4 KB puts, every chunk handled
+            # by NIC firmware (match + DMA), no host on the receive path.
+            "packets": rdma_packets,
+            "min_seconds": round(rdma_s, 4),
+            "packets_per_sec": int(rdma_packets / rdma_s),
+        },
     }
 
 
@@ -299,7 +325,9 @@ def build_document(current: dict) -> dict:
             "repeats (parallel_speedup is wall-clock and machine-relative: "
             "it cannot exceed the cpu count, and reads < 1x on 1 core); "
             "dataflow_rollup = the dataflow-rollup preset (3 sources, 4 "
-            "hash window lanes, spread over 8 nodes) end to end"
+            "hash window lanes, spread over 8 nodes) end to end; "
+            "rdma_put_bw = 40x4KB one-sided puts on the same 2-node "
+            "cluster, counting NIC-offloaded RDMA write packets"
         ),
     }
 
@@ -354,6 +382,9 @@ def main(argv: list[str] | None = None) -> int:
     dflow = current["dataflow_rollup"]
     print(f"dataflow: {dflow['events_per_sec']:>8,} events/sec "
           f"(rollup preset)")
+    rdma = current["rdma_put_bw"]
+    print(f"rdma:   {rdma['packets_per_sec']:>10,} packets/sec "
+          f"(one-sided put stream)")
     print(f"wrote {args.output}")
     return 0
 

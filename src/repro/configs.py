@@ -70,6 +70,8 @@ SPARC_FM1 = MachineParams(
         recv_region_slots=256,
         firmware_send_ns=1000,
         firmware_recv_ns=900,
+        rdma_match_ns=500,
+        collective_step_ns=700,
     ),
     link=LinkParams(
         bandwidth=MYRINET_640MBIT,
@@ -104,6 +106,8 @@ PPRO_FM2 = MachineParams(
         recv_region_slots=256,
         firmware_send_ns=1600,
         firmware_recv_ns=1600,
+        rdma_match_ns=300,
+        collective_step_ns=400,
     ),
     link=LinkParams(
         bandwidth=MYRINET_1280MBIT,

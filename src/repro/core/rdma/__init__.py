@@ -1,0 +1,19 @@
+"""One-sided RDMA transport and NIC-offloaded collectives.
+
+The layering argument of FM 2.x, pushed one step further: where FM moves
+flow control and packetisation into the NIC firmware, this package moves
+*data placement* (one-sided put/get against registered regions) and
+*collective coordination* (barrier/broadcast state machines) below the
+host receive path entirely.  See PROTOCOL.md ("RDMA extension") and
+ARCHITECTURE.md ("RDMA & NIC collectives").
+"""
+
+from repro.core.rdma.api import RdmaEndpoint, RdmaError, RdmaStalledError
+from repro.core.rdma.collectives import NicCollectives
+
+__all__ = [
+    "NicCollectives",
+    "RdmaEndpoint",
+    "RdmaError",
+    "RdmaStalledError",
+]

@@ -21,11 +21,16 @@ No dataflow-specific protocol, retransmission, or ack machinery: the FM
 credit scheme the paper already has *is* the backpressure carrier, which
 is the layering argument this subsystem exists to exercise.
 
-One deliberate simplification, documented as such: the pump delivers
-inbox messages in arrival order, so a message for a full queue
-head-of-line blocks later messages for other local stages until that
-queue drains.  That is exactly the per-node extract serialisation FM 2.x
-itself has (one extract loop per node), not an artifact.
+When a node hosts *several* remote-fed stages, the pump keeps one lane
+(a bounded staging deque) per destination stage and round-robins
+delivery across them, so a full queue stalls only its own lane: records
+for co-hosted stages keep flowing.  Extraction is gated on the fullest
+lane reaching its bound (one queue's worth of staging), at which point
+the pump parks in a blocking ``put`` on that stage — restoring exactly
+the strict backpressure chain above.  A node hosting a single remote-fed
+stage skips the lane machinery entirely and delivers in strict arrival
+order (nothing to be unfair to; identical behaviour to the original
+pump).
 
 Same-node edges never touch FM (FM forbids self-sends): a local handoff
 charges the host memcpy cost for the record's wire footprint and puts
@@ -408,8 +413,18 @@ class NodeRuntime:
 
         The ``yield queue.put(...)`` is the whole backpressure mechanism:
         while it blocks, this process is not extracting, the receive
-        region fills, credits are withheld, senders stall.
+        region fills, credits are withheld, senders stall.  With several
+        remote-fed stages co-hosted, delivery round-robins per-stage
+        lanes so one full queue stalls only its own lane (see the module
+        docstring).
         """
+        fed_stages: list[StageRuntime] = []
+        for edge in self.in_edges.values():
+            if edge.dst not in fed_stages:
+                fed_stages.append(edge.dst)
+        if len(fed_stages) > 1:
+            yield from self._pump_fair(fed_stages)
+            return
         endpoint = self.endpoint
         inbox = endpoint.inbox
         nic = self.node.nic
@@ -429,6 +444,62 @@ class NodeRuntime:
             yield from endpoint.extract_some(self.extract_budget)
             if not inbox and nic.recv_region.level == 0:
                 yield from endpoint.idle_wait()
+
+    def _pump_fair(self, fed_stages: list["StageRuntime"]) -> Generator:
+        """The multi-stage pump: per-stage staging lanes, round-robin
+        delivery, extraction gated on the fullest lane.
+
+        Invariants: every parsed record sits in exactly one place (lane or
+        queue) until consumed — zero drops; extraction stops once any lane
+        stages a full queue's worth, so total node-side buffering stays
+        bounded at (queue + lane) per stage and the FM credit chain still
+        carries backpressure to the senders.
+        """
+        endpoint = self.endpoint
+        inbox = endpoint.inbox
+        nic = self.node.nic
+        edges = self.in_edges
+        lanes: dict[StageRuntime, deque] = {s: deque() for s in fed_stages}
+        bounds = {s: max(1, s.queue.capacity) for s in fed_stages}
+        rr = 0
+        n = len(fed_stages)
+        while True:
+            # Parse arrivals into their destination lanes.
+            while inbox:
+                edge_id, records, flags = inbox.popleft()
+                edge = edges[edge_id]
+                lane = lanes[edge.dst]
+                for record in records:
+                    lane.append((edge, record))
+                if flags & EOS_FLAG:
+                    lane.append((edge, Eos(edge_id)))
+            # Round-robin delivery: each stage drains its lane while its
+            # queue has room; a full queue parks only its own lane.
+            for i in range(n):
+                stage = fed_stages[(rr + i) % n]
+                lane = lanes[stage]
+                while lane and not stage.queue.is_full:
+                    yield from self._deliver(stage, lane.popleft())
+            rr = (rr + 1) % n
+            # Extraction gate: a lane at its bound means that stage is the
+            # bottleneck — park in a blocking put on it (this is where the
+            # backpressure chain re-engages) instead of staging more.
+            blocked = next((s for s in fed_stages
+                            if len(lanes[s]) >= bounds[s]), None)
+            if blocked is not None:
+                yield from self._deliver(blocked, lanes[blocked].popleft())
+                continue
+            yield from endpoint.extract_some(self.extract_budget)
+            if not inbox and nic.recv_region.level == 0:
+                yield from endpoint.idle_wait()
+
+    def _deliver(self, stage: "StageRuntime", entry: tuple) -> Generator:
+        edge, item = entry
+        yield stage.queue.put(item)
+        if type(item) is not Eos:
+            edge.received += 1
+            self.stats.note_queue_depth(stage.stage_stats,
+                                        stage.queue.level)
 
     def done_events(self) -> list:
         return [stage.done for stage in self.stages]

@@ -26,16 +26,30 @@ class DmaEngine:
         self.bus = bus
         self.name = name
         self.channel = Resource(env, capacity=1, name=f"{name}.channel")
+        #: Transfers/bytes *admitted* to the engine (counted when the
+        #: descriptor is posted, before the channel or bus is acquired) —
+        #: so a transfer still crossing the bus when a fault window closes
+        #: is visible to reports, not silently in flight.
         self.transfers: int = 0
         self.bytes: int = 0
+        #: Transfers whose bus crossing has finished.  ``transfers -
+        #: completed`` is the engine's in-flight depth at any instant.
+        self.completed: int = 0
 
     def transfer(self, nbytes: int) -> Generator:
         """Move ``nbytes`` across the bus on this channel."""
+        self.transfers += 1
+        self.bytes += nbytes
         with self.channel.request() as req:
             yield req
             yield from self.bus.dma_transfer(nbytes)
-            self.transfers += 1
-            self.bytes += nbytes
+            self.completed += 1
+
+    @property
+    def in_flight(self) -> int:
+        """Transfers admitted but not yet across the bus."""
+        return self.transfers - self.completed
 
     def __repr__(self) -> str:
-        return f"<DmaEngine {self.name!r} transfers={self.transfers} bytes={self.bytes}>"
+        return (f"<DmaEngine {self.name!r} transfers={self.transfers} "
+                f"completed={self.completed} bytes={self.bytes}>")

@@ -99,6 +99,10 @@ class Fabric:
         down = self._make_link(neighbor, hnode)
         sw.connect_out(port, down)
         down.connect(nic.rx_sram)
+        # The RDMA/collective firmware originates packets itself (read
+        # responses, barrier/broadcast rounds) and needs routes stamped
+        # without a host-side FM endpoint in the loop.
+        nic.attach_fabric(self)
         self._nics[host_id] = nic
 
     def start(self) -> None:

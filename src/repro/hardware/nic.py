@@ -25,10 +25,31 @@ Staging is zero-copy at the host-Python level: the SRAM stores and the
 receive region hold :class:`Packet` references (whose payloads are immutable
 ``bytes``), never byte copies — all data-movement *cost* (PIO, DMA, wire
 time) is charged by the bus/DMA/link models as simulated time.
+
+**RDMA extension (one-sided put/get).**  The firmware keeps a table of
+host-registered memory regions (``register_region``).  An incoming
+``RDMA_WRITE`` packet is matched against the table and DMA'd straight into
+the registered buffer at the packet's offset — no handler dispatch, no
+receive-region slot, no credit: registration itself is the landing-space
+guarantee that FM's credit ledger otherwise provides, so one-sided traffic
+is exempt from it.  An ``RDMA_READ_REQ`` makes the firmware serve the read
+autonomously: it DMAs the region across the bus into SRAM (on the NIC's
+own send-side DMA engine, contending at the bus arbiter like any other
+master) and injects ``RDMA_READ_RESP`` packets with no host involvement at
+either end.  Completions are posted to a host-visible queue (``cq``) with
+an event wakeup (``cq_wakeup``), mirroring the credit mailbox pattern.
+
+**NIC-offloaded collectives.**  A small per-NIC collective table
+(``post_barrier`` / ``post_bcast``) is serviced by firmware engine
+processes: barrier runs dissemination rounds and broadcast a binomial
+forwarding tree entirely NIC-to-NIC — the host pays one descriptor post
+and one completion wait, so collective latency scales with firmware step
+cost and wire hops, not with host per-message software overhead.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import TYPE_CHECKING, Optional
 
 from repro.simkernel.store import Store
@@ -36,11 +57,86 @@ from repro.simkernel.store import Store
 from repro.hardware.bus import IoBus
 from repro.hardware.dma import DmaEngine
 from repro.hardware.link import Link
-from repro.hardware.packet import Packet
+from repro.hardware.memory import Buffer
+from repro.hardware.packet import HEADER_BYTES, Packet, PacketFlags, PacketHeader
 from repro.hardware.params import NicParams
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.simkernel.env import Environment
+    from repro.hardware.fabric import Fabric
+
+#: Payload bytes per RDMA / collective data packet (the Myrinet-style MTU
+#: the firmware packetises at; same as FM 2.x's max packet payload).
+RDMA_MTU: int = 1024
+
+#: Collective opcodes (carried in ``header.handler_id`` of COLLECTIVE
+#: packets — firmware traffic never dispatches host handlers).
+COLL_BARRIER: int = 1
+COLL_BCAST: int = 2
+
+
+class RdmaCompletion:
+    """One host-visible completion queue entry."""
+
+    __slots__ = ("kind", "peer", "rkey", "op_id", "nbytes", "time_ns")
+
+    def __init__(self, kind: str, peer: int, rkey: int, op_id: int,
+                 nbytes: int, time_ns: int):
+        self.kind = kind        # "write" | "read" | "barrier" | "bcast"
+        self.peer = peer        # remote node (or root for collectives)
+        self.rkey = rkey
+        self.op_id = op_id      # msg_id of the op / coll_id of the collective
+        self.nbytes = nbytes
+        self.time_ns = time_ns
+
+    def __repr__(self) -> str:
+        return (f"<RdmaCompletion {self.kind} peer={self.peer} "
+                f"op={self.op_id} {self.nbytes}B @{self.time_ns}ns>")
+
+
+class _PendingGet:
+    """Requester-side state for one outstanding RDMA read."""
+
+    __slots__ = ("buffer", "local_offset", "nbytes", "received")
+
+    def __init__(self, buffer: Buffer, local_offset: int, nbytes: int):
+        self.buffer = buffer
+        self.local_offset = local_offset
+        self.nbytes = nbytes
+        self.received = 0
+
+
+class _CollState:
+    """One collective table entry (created on post *or* first arrival)."""
+
+    __slots__ = ("coll_id", "op", "posted", "n_nodes", "root", "buffer",
+                 "nbytes", "arrived", "round_waiters", "pending",
+                 "data_waiters")
+
+    def __init__(self, coll_id: int):
+        self.coll_id = coll_id
+        self.op: Optional[int] = None
+        self.posted = False
+        self.n_nodes = 0
+        self.root = 0
+        self.buffer: Optional[Buffer] = None
+        self.nbytes = 0
+        self.arrived: dict[int, int] = {}     # barrier: round -> count
+        self.round_waiters: dict[int, list] = {}
+        self.pending: deque[Packet] = deque()  # bcast: undelivered chunks
+        self.data_waiters: list = []
+
+
+def _binomial_children(rel: int, n: int) -> list[int]:
+    """Children of relative rank ``rel`` in the binomial broadcast tree."""
+    step = 1
+    while step <= rel:
+        step <<= 1
+    children = []
+    while rel + step < n:
+        children.append(rel + step)
+        step <<= 1
+    return children
 
 
 class Nic:
@@ -63,6 +159,10 @@ class Nic:
         self.recv_region: Store = Store(env, capacity=params.recv_region_slots,
                                         name=f"{self.name}.recv_region")
         self.recv_dma = DmaEngine(env, bus, name=f"{self.name}.rxdma")
+        # Send-side DMA engine: pulls registered host memory into SRAM for
+        # RDMA puts, served reads and root broadcasts (contending with
+        # recv DMA and host PIO at the bus arbiter).
+        self.tx_dma = DmaEngine(env, bus, name=f"{self.name}.txdma")
         #: Host-visible credit mailbox: peer node id -> credits returned.
         self.credit_mailbox: dict[int, int] = {}
         #: Processes sleeping until the next receive-region deposit (see
@@ -73,12 +173,37 @@ class Nic:
         self.received_packets: int = 0
         self.control_packets: int = 0
         self.corrupt_control_packets: int = 0
+        # -- RDMA / collective state ------------------------------------
+        self.fabric: Optional["Fabric"] = None
+        #: rkey -> registered host buffer (the firmware's match table).
+        self.regions: dict[int, Buffer] = {}
+        self._pending_gets: dict[int, _PendingGet] = {}
+        #: Host-visible completion queue (writes that landed here, reads
+        #: that finished here, collectives that completed here).
+        self.cq: deque[RdmaCompletion] = deque()
+        self._cq_waiters: list = []
+        self._colls: dict[int, _CollState] = {}
+        self.rdma_write_packets: int = 0
+        self.rdma_write_bytes: int = 0
+        self.rdma_reads_served: int = 0
+        self.rdma_read_bytes: int = 0
+        self.collective_packets: int = 0
+        #: RDMA/collective packets dropped for an unregistered or
+        #: out-of-range region — the one-sided analogue of a transport
+        #: error (reports gate on this staying 0).
+        self.rdma_unmatched: int = 0
+        #: Corrupt RDMA/collective packets dropped (fault injection only).
+        self.corrupt_offload_packets: int = 0
 
     # -- wiring ------------------------------------------------------------
     def connect_tx(self, link: Link) -> None:
         if self.tx_link is not None:
             raise RuntimeError(f"{self.name!r} tx already connected")
         self.tx_link = link
+
+    def attach_fabric(self, fabric: "Fabric") -> None:
+        """Give the firmware a route source for self-originated packets."""
+        self.fabric = fabric
 
     def start(self) -> None:
         if self.tx_link is None:
@@ -121,6 +246,106 @@ class Nic:
         event = self.env.event()
         self._rx_waiters.append(event)
         return event
+
+    # -- host-side RDMA API ------------------------------------------------
+    def register_region(self, rkey: int, buffer: Buffer) -> None:
+        """Enter a host buffer into the firmware match table (the cost of
+        the registration call is charged by the RDMA endpoint)."""
+        if rkey in self.regions:
+            raise ValueError(f"{self.name!r}: rkey {rkey} already registered")
+        buffer.pinned = True
+        self.regions[rkey] = buffer
+
+    def deregister_region(self, rkey: int) -> None:
+        if rkey not in self.regions:
+            raise KeyError(f"{self.name!r}: rkey {rkey} not registered")
+        del self.regions[rkey]
+
+    def post_rdma_get(self, get_id: int, buffer: Buffer, local_offset: int,
+                      nbytes: int) -> None:
+        """Arm requester-side state for one RDMA read before the request
+        packet is injected."""
+        if get_id in self._pending_gets:
+            raise ValueError(f"{self.name!r}: get {get_id} already pending")
+        self._pending_gets[get_id] = _PendingGet(buffer, local_offset, nbytes)
+
+    def submit_rdma(self, packet: Packet):
+        """Host hands an RDMA packet to the NIC (route stamped here: the
+        one-sided path has no FM endpoint in the loop).  The caller charges
+        the descriptor PIO and the payload's send-side DMA."""
+        self._stamp_route(packet)
+        packet.stamp(f"{self.name}.submit", self.env.now)
+        yield self.tx_sram.put(packet)
+
+    def cq_wakeup(self):
+        """An event triggered at the next completion-queue post (same
+        one-shot contract as :meth:`rx_wakeup`)."""
+        event = self.env.event()
+        self._cq_waiters.append(event)
+        return event
+
+    # -- host-side collective API -------------------------------------------
+    def post_barrier(self, coll_id: int, n_nodes: int) -> None:
+        """Arm the NIC barrier state machine for one dissemination barrier
+        over nodes ``0..n_nodes-1`` (descriptor PIO charged by the caller)."""
+        state = self._coll_state(coll_id, COLL_BARRIER)
+        state.posted = True
+        state.n_nodes = n_nodes
+        self.env.process(self._barrier_engine(state),
+                         name=f"{self.name}.coll.barrier{coll_id}")
+
+    def post_bcast(self, coll_id: int, root: int, n_nodes: int,
+                   buffer: Buffer, nbytes: int) -> None:
+        """Arm the NIC broadcast engine: on the root, ``buffer`` is the
+        payload source; elsewhere it is the landing region."""
+        if nbytes < 1 or nbytes > buffer.size:
+            raise ValueError(
+                f"bcast of {nbytes} B does not fit buffer of {buffer.size} B")
+        state = self._coll_state(coll_id, COLL_BCAST)
+        state.posted = True
+        state.n_nodes = n_nodes
+        state.root = root
+        state.buffer = buffer
+        state.nbytes = nbytes
+        self.env.process(self._bcast_engine(state),
+                         name=f"{self.name}.coll.bcast{coll_id}")
+
+    def _coll_state(self, coll_id: int, op: Optional[int] = None) -> _CollState:
+        state = self._colls.get(coll_id)
+        if state is None:
+            state = _CollState(coll_id)
+            self._colls[coll_id] = state
+        if op is not None:
+            if state.op is not None and state.op != op:
+                raise ValueError(
+                    f"{self.name!r}: collective {coll_id} op mismatch "
+                    f"({state.op} vs {op}) — hosts disagree on the sequence")
+            state.op = op
+        return state
+
+    # -- firmware internals --------------------------------------------------
+    def _stamp_route(self, packet: Packet) -> None:
+        if self.fabric is None:
+            raise RuntimeError(
+                f"{self.name!r}: RDMA/collective traffic needs a fabric "
+                f"(attach the NIC before use)")
+        self.fabric.stamp_route(packet)
+
+    def _post_completion(self, kind: str, peer: int, rkey: int, op_id: int,
+                         nbytes: int) -> None:
+        self.cq.append(RdmaCompletion(kind, peer, rkey, op_id, nbytes,
+                                      self.env.now))
+        if self._cq_waiters:
+            waiters, self._cq_waiters = self._cq_waiters, []
+            for event in waiters:
+                event.succeed()
+
+    def _fw_inject(self, packet: Packet):
+        """Firmware-originated send: straight into tx SRAM (the payload is
+        already NIC-side; the tx firmware loop charges its per-packet cost)."""
+        self._stamp_route(packet)
+        packet.stamp(f"{self.name}.fw_inject", self.env.now)
+        yield self.tx_sram.put(packet)
 
     # -- firmware loops -----------------------------------------------------------
     def _tx_firmware(self):
@@ -182,6 +407,12 @@ class Nic:
                              ctx=packet.trace,
                              credits=packet.header.credit_return)
                 continue
+            if packet.header.is_rdma:
+                yield from self._rx_rdma(packet, t0)
+                continue
+            if packet.header.is_collective:
+                self._rx_collective(packet, t0)
+                continue
             yield from self.recv_dma.transfer(packet.wire_bytes)
             self.received_packets += 1
             packet.stamp(f"{self.name}.dma_done", self.env.now)
@@ -199,6 +430,243 @@ class Nic:
                 waiters, self._rx_waiters = self._rx_waiters, []
                 for event in waiters:
                     event.succeed()
+
+    # -- RDMA receive paths ---------------------------------------------------
+    def _rx_rdma(self, packet: Packet, t0: int):
+        """Match an RDMA packet and drive the DMA engine directly — the
+        one-sided bypass: no handler, no receive-region slot, no credit."""
+        header = packet.header
+        obs = self.env.obs
+        yield self.env.timeout(self.params.rdma_match_ns)
+        if not packet.crc_ok():
+            # Same policy as corrupt control: a damaged one-sided packet
+            # must never touch registered memory — drop and count.
+            self.corrupt_offload_packets += 1
+            if obs is not None:
+                obs.span("nic", "corrupt_rdma_drop", t0,
+                         track=f"node{self.node_id}/nic.rx",
+                         src=header.src, seq=header.seq)
+            return
+        flags = header.flags
+        if flags & PacketFlags.RDMA_WRITE:
+            region = self.regions.get(header.rkey)
+            if region is None or header.roffset + len(packet.payload) > region.size:
+                self.rdma_unmatched += 1
+                return
+            yield from self.recv_dma.transfer(packet.wire_bytes)
+            region.write(packet.payload, header.roffset)
+            self.rdma_write_packets += 1
+            self.rdma_write_bytes += len(packet.payload)
+            packet.stamp(f"{self.name}.rdma_write", self.env.now)
+            if header.is_last:
+                self._post_completion("write", header.src, header.rkey,
+                                      header.msg_id, header.msg_bytes)
+            if obs is not None:
+                obs.span("nic", "rdma_write", t0,
+                         track=f"node{self.node_id}/nic.rx",
+                         ctx=packet.trace, src=header.src,
+                         rkey=header.rkey, seq=header.seq,
+                         bytes=packet.wire_bytes)
+            return
+        if flags & PacketFlags.RDMA_READ_REQ:
+            # Serve the read in its own firmware process so a long pull
+            # never parks the receive loop.
+            self.env.process(
+                self._serve_rdma_read(packet),
+                name=f"{self.name}.rdma_read{packet.header.msg_id}")
+            if obs is not None:
+                obs.span("nic", "rdma_read_req", t0,
+                         track=f"node{self.node_id}/nic.rx",
+                         ctx=packet.trace, src=header.src,
+                         rkey=header.rkey, bytes=header.msg_bytes)
+            return
+        # RDMA_READ_RESP: land the pulled bytes at the requester.
+        pending = self._pending_gets.get(header.msg_id)
+        if (pending is None
+                or pending.local_offset + header.roffset + len(packet.payload)
+                > pending.buffer.size):
+            self.rdma_unmatched += 1
+            return
+        yield from self.recv_dma.transfer(packet.wire_bytes)
+        pending.buffer.write(packet.payload,
+                             pending.local_offset + header.roffset)
+        pending.received += len(packet.payload)
+        packet.stamp(f"{self.name}.rdma_read_land", self.env.now)
+        if obs is not None:
+            obs.span("nic", "rdma_read_resp", t0,
+                     track=f"node{self.node_id}/nic.rx",
+                     ctx=packet.trace, src=header.src,
+                     rkey=header.rkey, seq=header.seq,
+                     bytes=packet.wire_bytes)
+        if pending.received >= pending.nbytes:
+            del self._pending_gets[header.msg_id]
+            self._post_completion("read", header.src, header.rkey,
+                                  header.msg_id, pending.nbytes)
+
+    def _serve_rdma_read(self, request: Packet):
+        """Firmware serves a one-sided read: region -> SRAM (send DMA) ->
+        wire, with zero host instructions at either end."""
+        header = request.header
+        region = self.regions.get(header.rkey)
+        nbytes = header.msg_bytes
+        if region is None or header.roffset + nbytes > region.size:
+            self.rdma_unmatched += 1
+            return
+        obs = self.env.obs
+        t0 = self.env.now
+        self.rdma_reads_served += 1
+        offset = 0
+        seq = 0
+        last_seq = (max(nbytes - 1, 0)) // RDMA_MTU
+        while offset < nbytes:
+            chunk = min(RDMA_MTU, nbytes - offset)
+            yield self.env.timeout(self.params.rdma_match_ns)
+            yield from self.tx_dma.transfer(HEADER_BYTES + chunk)
+            flags = PacketFlags.RDMA_READ_RESP
+            if seq == 0:
+                flags |= PacketFlags.FIRST
+            if seq == last_seq:
+                flags |= PacketFlags.LAST
+            reply = Packet(
+                PacketHeader(src=self.node_id, dest=header.src,
+                             handler_id=0, msg_id=header.msg_id, seq=seq,
+                             msg_bytes=nbytes, flags=flags,
+                             rkey=header.rkey, roffset=offset),
+                region.view(header.roffset + offset, chunk))
+            yield from self._fw_inject(reply)
+            self.rdma_read_bytes += chunk
+            offset += chunk
+            seq += 1
+        if obs is not None:
+            obs.span("nic", "rdma_read_serve", t0,
+                     track=f"node{self.node_id}/nic.tx",
+                     dest=header.src, rkey=header.rkey, bytes=nbytes)
+
+    # -- collective state machine ----------------------------------------------
+    def _rx_collective(self, packet: Packet, t0: int) -> None:
+        """Deposit a collective packet into its table entry (zero firmware
+        time here beyond the loop's per-packet charge; the engine processes
+        charge ``collective_step_ns`` per protocol step)."""
+        header = packet.header
+        if not packet.crc_ok():
+            self.corrupt_offload_packets += 1
+            return
+        self.collective_packets += 1
+        state = self._coll_state(header.msg_id, header.handler_id)
+        if header.handler_id == COLL_BARRIER:
+            rnd = header.seq
+            state.arrived[rnd] = state.arrived.get(rnd, 0) + 1
+            waiters = state.round_waiters.pop(rnd, None)
+            if waiters:
+                for event in waiters:
+                    event.succeed()
+        else:
+            state.pending.append(packet)
+            if state.data_waiters:
+                waiters, state.data_waiters = state.data_waiters, []
+                for event in waiters:
+                    event.succeed()
+        obs = self.env.obs
+        if obs is not None:
+            obs.span("nic", "collective_rx", t0,
+                     track=f"node{self.node_id}/nic.rx",
+                     src=header.src, coll=header.msg_id, step=header.seq)
+
+    def _barrier_engine(self, state: _CollState):
+        """Dissemination barrier run entirely in firmware: round ``k``
+        sends to ``(me + 2^k) mod n`` and waits on ``(me - 2^k) mod n``."""
+        env = self.env
+        me = self.node_id
+        n = state.n_nodes
+        obs = env.obs
+        t0 = env.now
+        k = 0
+        while (1 << k) < n:
+            step = 1 << k
+            yield env.timeout(self.params.collective_step_ns)
+            packet = Packet(
+                PacketHeader(src=me, dest=(me + step) % n,
+                             handler_id=COLL_BARRIER, msg_id=state.coll_id,
+                             seq=k, msg_bytes=0,
+                             flags=(PacketFlags.COLLECTIVE
+                                    | PacketFlags.FIRST | PacketFlags.LAST)),
+                b"")
+            yield from self._fw_inject(packet)
+            while state.arrived.get(k, 0) == 0:
+                event = env.event()
+                state.round_waiters.setdefault(k, []).append(event)
+                yield event
+            k += 1
+        del self._colls[state.coll_id]
+        self._post_completion("barrier", me, 0, state.coll_id, 0)
+        if obs is not None:
+            obs.span("nic", "barrier", t0,
+                     track=f"node{self.node_id}/nic.coll",
+                     coll=state.coll_id, rounds=k)
+
+    def _bcast_engine(self, state: _CollState):
+        """Binomial-tree broadcast: the root DMAs its host payload into
+        SRAM once per chunk and fans out; interior NICs cut through —
+        forward from SRAM while landing the chunk host-side."""
+        env = self.env
+        me = self.node_id
+        n = state.n_nodes
+        rel = (me - state.root) % n
+        children = [(state.root + c) % n for c in _binomial_children(rel, n)]
+        obs = env.obs
+        t0 = env.now
+        nbytes = state.nbytes
+        last_seq = (nbytes - 1) // RDMA_MTU
+        if me == state.root:
+            offset = 0
+            seq = 0
+            while offset < nbytes:
+                chunk = min(RDMA_MTU, nbytes - offset)
+                yield env.timeout(self.params.collective_step_ns)
+                yield from self.tx_dma.transfer(HEADER_BYTES + chunk)
+                data = state.buffer.view(offset, chunk)
+                for child in children:
+                    yield from self._fw_inject(self._bcast_packet(
+                        state, child, seq, last_seq, offset, data))
+                offset += chunk
+                seq += 1
+        else:
+            received = 0
+            while received < nbytes:
+                while not state.pending:
+                    event = env.event()
+                    state.data_waiters.append(event)
+                    yield event
+                packet = state.pending.popleft()
+                header = packet.header
+                yield env.timeout(self.params.collective_step_ns)
+                yield from self.recv_dma.transfer(packet.wire_bytes)
+                state.buffer.write(packet.payload, header.roffset)
+                received += len(packet.payload)
+                for child in children:
+                    yield from self._fw_inject(self._bcast_packet(
+                        state, child, header.seq, last_seq, header.roffset,
+                        packet.payload))
+        del self._colls[state.coll_id]
+        self._post_completion("bcast", state.root, 0, state.coll_id, nbytes)
+        if obs is not None:
+            obs.span("nic", "bcast", t0,
+                     track=f"node{self.node_id}/nic.coll",
+                     coll=state.coll_id, root=state.root, bytes=nbytes)
+
+    def _bcast_packet(self, state: _CollState, dest: int, seq: int,
+                      last_seq: int, offset: int, data) -> Packet:
+        flags = PacketFlags.COLLECTIVE
+        if seq == 0:
+            flags |= PacketFlags.FIRST
+        if seq == last_seq:
+            flags |= PacketFlags.LAST
+        return Packet(
+            PacketHeader(src=self.node_id, dest=dest, handler_id=COLL_BCAST,
+                         msg_id=state.coll_id, seq=seq,
+                         msg_bytes=state.nbytes, flags=flags,
+                         rkey=state.root, roffset=offset),
+            data)
 
     def __repr__(self) -> str:
         return (f"<Nic {self.name!r} sent={self.sent_packets} "

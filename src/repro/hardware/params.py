@@ -76,19 +76,28 @@ class BusParams:
 
 @dataclass(frozen=True)
 class NicParams:
-    """LANai-style network interface parameters."""
+    """LANai-style network interface parameters.
+
+    The RDMA/collective fields price the firmware extension paths only:
+    they are never charged on the FM 1.x/2.x data path, so adding them
+    leaves every existing scenario byte-identical.
+    """
 
     sram_packet_slots: int      # on-board packet staging slots (each direction)
     host_queue_slots: int       # depth of the host-side send descriptor queue
     recv_region_slots: int      # host receive region capacity, in packets
     firmware_send_ns: int       # firmware processing per packet, send side
     firmware_recv_ns: int       # firmware processing per packet, receive side
+    rdma_match_ns: int = 300    # firmware match of an RDMA packet to a region
+    collective_step_ns: int = 400  # firmware work per collective state step
 
     def __post_init__(self) -> None:
         for name in ("sram_packet_slots", "host_queue_slots", "recv_region_slots"):
             _check_positive(name, getattr(self, name))
         _check_nonneg("firmware_send_ns", self.firmware_send_ns)
         _check_nonneg("firmware_recv_ns", self.firmware_recv_ns)
+        _check_nonneg("rdma_match_ns", self.rdma_match_ns)
+        _check_nonneg("collective_step_ns", self.collective_step_ns)
 
 
 @dataclass(frozen=True)

@@ -23,6 +23,7 @@ from repro.upper.mpi.comm import Communicator
 from repro.upper.mpi.engine import MpiEngine
 from repro.upper.mpi.fm1_binding import MPI1_DEFAULT_COSTS, MpiFm1Binding
 from repro.upper.mpi.fm2_binding import MPI2_DEFAULT_COSTS, MpiFm2Binding
+from repro.upper.mpi.rdma_binding import MpiFm2RdmaBinding
 from repro.upper.mpi.status import MpiError, Request, Status
 from repro.upper.mpi.world import build_mpi_world
 
@@ -36,6 +37,7 @@ __all__ = [
     "MpiError",
     "MpiFm1Binding",
     "MpiFm2Binding",
+    "MpiFm2RdmaBinding",
     "Request",
     "Status",
     "build_mpi_world",

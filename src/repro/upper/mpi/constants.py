@@ -11,6 +11,10 @@ KIND_EAGER = 0        # payload travels with the envelope
 KIND_RTS = 1          # rendezvous request-to-send (envelope only)
 KIND_CTS = 2          # rendezvous clear-to-send (receiver -> sender)
 KIND_RENDEZVOUS_DATA = 3  # rendezvous payload
+KIND_RTS_RDMA = 4     # RDMA rendezvous: envelope + rkey descriptor; the
+                      # receiver pulls the payload with an RDMA read
+KIND_RDMA_FIN = 5     # RDMA rendezvous done (receiver -> sender): the
+                      # pull landed, the sender may deregister
 
 #: User tags must stay below this; collectives use tags at and above it.
 MAX_USER_TAG = 1 << 20

@@ -43,8 +43,10 @@ from repro.upper.mpi.constants import (
     ANY_TAG,
     KIND_CTS,
     KIND_EAGER,
+    KIND_RDMA_FIN,
     KIND_RENDEZVOUS_DATA,
     KIND_RTS,
+    KIND_RTS_RDMA,
     INTERNAL_TAG_BASE,
 )
 from repro.upper.mpi.envelope import ENVELOPE_BYTES, Envelope
@@ -113,6 +115,11 @@ class MpiEngine:
         self._cts_received: set[tuple[int, int]] = set()  # (src, serial)
         self._cts_outbox: list[tuple[int, Envelope]] = []  # deferred CTS sends
         self._rdv_posted: dict[tuple[int, int], PostedRecv] = {}  # (src, serial)
+        # RDMA rendezvous state (only used by the opt-in RDMA binding;
+        # inert — never populated, never yielded on — otherwise).
+        self._fin_received: set[tuple[int, int]] = set()  # (dest, serial)
+        self._rdma_rts: dict[tuple[int, int], int] = {}   # (src, serial) -> rkey
+        self._pull_jobs: list[tuple[PostedRecv, Envelope, int]] = []
         self._in_progress = False
         self.binding = binding_cls(self)
         self.fm.stall_hook = self._stall_progress
@@ -120,6 +127,8 @@ class MpiEngine:
         self.stats_unexpected = 0
         self.stats_spills = 0
         self.stats_rendezvous = 0
+        self.stats_rdma_rendezvous = 0
+        self.stats_rdma_pulls = 0
 
     # -- sending --------------------------------------------------------------
     def next_serial(self, dest: int) -> int:
@@ -146,6 +155,14 @@ class MpiEngine:
             return
         # Rendezvous: RTS, wait for CTS, then the payload.
         self.stats_rendezvous += 1
+        if getattr(self.binding, "rdma", None) is not None:
+            yield from self._send_rendezvous_rdma(dest, tag, data,
+                                                  context, serial)
+            if obs is not None:
+                obs.span("mpi", "MPI_Send", t0,
+                         track=f"node{self.rank}/mpi", dest=dest, tag=tag,
+                         bytes=len(data), protocol="rendezvous-rdma")
+            return
         rts = Envelope(context, self.rank, tag, len(data), KIND_RTS, serial)
         yield from self.binding.send_message(dest, rts, b"")
         key = (dest, serial)
@@ -168,6 +185,35 @@ class MpiEngine:
             obs.span("mpi", "MPI_Send", t0, track=f"node{self.rank}/mpi",
                      dest=dest, tag=tag, bytes=len(data),
                      protocol="rendezvous")
+
+    def _send_rendezvous_rdma(self, dest: int, tag: int, data: bytes,
+                              context: int, serial: int) -> Generator:
+        """Rendezvous over one-sided RDMA read (the opt-in binding):
+        register the payload, advertise it (the RTS_RDMA envelope carries
+        an rkey descriptor), and let the receiver *pull* — the sender
+        transmits zero data packets.  The FIN reply bounds the region's
+        lifetime so the source buffer can be deregistered."""
+        self.stats_rdma_rendezvous += 1
+        source = Buffer.from_bytes(data, name=f"mpi.rdma_src[{self.rank}]")
+        rkey = yield from self.binding.rdma.register(source)
+        rts = Envelope(context, self.rank, tag, len(data),
+                       KIND_RTS_RDMA, serial)
+        yield from self.binding.send_message(dest, rts,
+                                             self.binding.pack_desc(rkey))
+        key = (dest, serial)
+        t_wait = self.env.now
+        while key not in self._fin_received:
+            advanced = yield from self.progress()
+            if advanced:
+                t_wait = self.env.now
+                continue
+            self._check_stall(
+                t_wait,
+                f"no RDMA FIN from rank {dest} (serial {serial}) — "
+                "receiver never pulled?")
+            yield from self._idle_wait()
+        self._fin_received.remove(key)
+        yield from self.binding.rdma.deregister(rkey)
 
     def send_pieces(self, dest: int, tag: int, pieces: list[bytes],
                     context: int = 0) -> Generator:
@@ -321,9 +367,10 @@ class MpiEngine:
             else:
                 extracted = yield from self.fm.extract(self.costs.progress_budget)
             flushed = yield from self._flush_cts()
+            pulled = yield from self._run_pull_jobs()
         finally:
             self._in_progress = False
-        return bool(extracted) or flushed
+        return bool(extracted) or flushed or pulled
 
     def _stall_progress(self) -> Generator:
         if self._in_progress:
@@ -364,6 +411,24 @@ class MpiEngine:
             flushed = True
         return flushed
 
+    def _run_pull_jobs(self) -> Generator:
+        """Execute queued RDMA pulls (the receiver side of the opt-in
+        rendezvous): a one-sided read straight into the posted buffer —
+        the remote NIC serves it in firmware with no sender-host
+        involvement — then a FIN so the sender can deregister."""
+        ran = False
+        while self._pull_jobs:
+            posted, env, rkey = self._pull_jobs.pop(0)
+            yield from self.binding.rdma.rdma_get(env.src_rank, rkey,
+                                                  posted.buf, env.size)
+            self.stats_rdma_pulls += 1
+            fin = Envelope(env.context, self.rank, INTERNAL_TAG_BASE, 0,
+                           KIND_RDMA_FIN, env.serial)
+            yield from self.binding.send_message(env.src_rank, fin, b"")
+            self.complete_posted(posted, env)
+            ran = True
+        return ran
+
     # -- arrival handling (called by the binding's FM handler) ----------------------------
     def match_posted(self, env: Envelope) -> Optional[PostedRecv]:
         """Find-and-remove the first posted receive matching ``env``."""
@@ -403,6 +468,20 @@ class MpiEngine:
     def arrival_cts(self, env: Envelope) -> None:
         self._cts_received.add((env.src_rank, env.serial))
 
+    def arrival_rts_rdma(self, env: Envelope, rkey: int) -> None:
+        """An RDMA-read RTS arrived: queue the pull if a receive is
+        posted, else park the advert (envelope + rkey) as unexpected."""
+        posted = self.match_posted(env)
+        if posted is None:
+            self._rdma_rts[(env.src_rank, env.serial)] = rkey
+            self.enqueue_unexpected(UnexpectedMsg(env, None))
+            return
+        self.check_capacity(posted, env)
+        self._pull_jobs.append((posted, env, rkey))
+
+    def arrival_fin(self, env: Envelope) -> None:
+        self._fin_received.add((env.src_rank, env.serial))
+
     def take_rendezvous_posted(self, env: Envelope) -> PostedRecv:
         key = (env.src_rank, env.serial)
         posted = self._rdv_posted.pop(key, None)
@@ -433,6 +512,13 @@ class MpiEngine:
                                 Buffer(max_bytes), request)
             self._rdv_posted[(env.src_rank, env.serial)] = posted
             self._queue_cts(env)
+            return
+        if env.kind == KIND_RTS_RDMA:
+            # Late match of an RDMA advert: the next progress pass pulls.
+            posted = PostedRecv(env.context, env.src_rank, env.tag,
+                                Buffer(max_bytes), request)
+            rkey = self._rdma_rts.pop((env.src_rank, env.serial))
+            self._pull_jobs.append((posted, env, rkey))
             return
         yield from self.cpu.execute(self.costs.match_ns)
         user_buf = Buffer(max_bytes, name=f"mpi.recv[{self.rank}]")

@@ -87,6 +87,9 @@ class MpiFm2Binding:
         if env.kind == KIND_RTS:
             engine.arrival_rts(env)
             return
+        handled = yield from self._handle_extended(env, stream)
+        if handled:
+            return
         if env.kind not in (KIND_EAGER, KIND_RENDEZVOUS_DATA):
             raise MpiError(f"unknown protocol kind {env.kind}")
 
@@ -108,6 +111,12 @@ class MpiFm2Binding:
         if env.size:
             yield from stream.receive(pool_buf, 0, env.size)
         engine.enqueue_unexpected(UnexpectedMsg(env, pool_buf))
+
+    def _handle_extended(self, env: Envelope, stream) -> Generator:
+        """Hook for binding subclasses with extra protocol kinds (the
+        RDMA rendezvous binding); the base binding has none."""
+        return False
+        yield  # pragma: no cover - generator marker
 
     def send_message_pieces(self, dest: int, envelope: Envelope,
                             pieces: list[bytes]) -> Generator:

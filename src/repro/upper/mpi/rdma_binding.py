@@ -1,0 +1,60 @@
+"""MPI rendezvous over one-sided RDMA read (opt-in).
+
+The classic rendezvous costs the sender a full data transmission after
+the CTS: every payload packet crosses the sender's CPU and both hosts'
+software stacks.  This binding replaces that tail with the one-sided
+transport (:mod:`repro.core.rdma`): the sender registers the payload and
+advertises it in a ``KIND_RTS_RDMA`` envelope whose 8-byte descriptor
+carries the rkey; the receiver *pulls* with an RDMA read straight into
+the posted user buffer (the sender's NIC serves the read in firmware,
+zero sender-host cycles), then answers ``KIND_RDMA_FIN`` so the sender
+can deregister.  No CTS, no ``KIND_RENDEZVOUS_DATA`` message.
+
+Opt-in and default-off: :func:`~repro.upper.mpi.world.build_mpi_world`
+selects this binding only with ``rdma=True``.  Eager traffic, matching,
+and every control envelope ride the unmodified FM 2.x paths, and with
+the flag off the engine never touches any of this module — existing
+scenario reports stay byte-identical.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import TYPE_CHECKING, Generator
+
+from repro.core.rdma.api import RdmaEndpoint
+from repro.hardware.memory import Buffer
+from repro.upper.mpi.constants import KIND_RDMA_FIN, KIND_RTS_RDMA
+from repro.upper.mpi.envelope import Envelope
+from repro.upper.mpi.fm2_binding import MpiFm2Binding
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.upper.mpi.engine import MpiEngine
+
+#: The RTS_RDMA descriptor: the rkey the receiver's pull names.  It rides
+#: as the message payload after the 24-byte envelope (which stays the
+#: paper's size — the advert is a normal small FM message).
+RDMA_DESC = struct.Struct("<q")
+
+
+class MpiFm2RdmaBinding(MpiFm2Binding):
+    """FM 2.x binding with the rendezvous payload routed over RDMA read."""
+
+    def __init__(self, engine: "MpiEngine"):
+        super().__init__(engine)
+        self.rdma = RdmaEndpoint(engine.node)
+
+    def pack_desc(self, rkey: int) -> bytes:
+        return RDMA_DESC.pack(rkey)
+
+    def _handle_extended(self, env: Envelope, stream) -> Generator:
+        if env.kind == KIND_RDMA_FIN:
+            self.engine.arrival_fin(env)
+            return True
+        if env.kind == KIND_RTS_RDMA:
+            desc = Buffer(RDMA_DESC.size, name="mpi2.rdma_desc")
+            yield from stream.receive(desc, 0, RDMA_DESC.size)
+            (rkey,) = RDMA_DESC.unpack(desc.read())
+            self.engine.arrival_rts_rdma(env, rkey)
+            return True
+        return False

@@ -12,18 +12,25 @@ from repro.upper.mpi.fm2_binding import MPI2_DEFAULT_COSTS, MpiFm2Binding
 
 
 def build_mpi_world(cluster: Cluster, costs: Optional[MpiCosts] = None,
-                    binding_cls=None) -> list[Communicator]:
+                    binding_cls=None, rdma: bool = False) -> list[Communicator]:
     """One ``comm_world`` communicator per node, bound to the cluster's FM.
 
     The binding (FM 1.x copy-based vs FM 2.x gather-scatter) follows the
     cluster's ``fm_version``; ``costs`` overrides the calibrated defaults
     and ``binding_cls`` substitutes an alternative binding (used by the
-    feature-ablation benchmarks).  Rank ``i`` is node ``i``.
+    feature-ablation benchmarks).  ``rdma=True`` (FM 2.x only, default
+    off) routes rendezvous payloads over one-sided RDMA read — see
+    :mod:`repro.upper.mpi.rdma_binding`.  Rank ``i`` is node ``i``.
     """
     if cluster.fm_version == 1:
+        if rdma:
+            raise ValueError("RDMA rendezvous needs FM 2.x (fm_version=2)")
         binding_cls = binding_cls or MpiFm1Binding
         costs = costs or MPI1_DEFAULT_COSTS
     elif cluster.fm_version == 2:
+        if rdma and binding_cls is None:
+            from repro.upper.mpi.rdma_binding import MpiFm2RdmaBinding
+            binding_cls = MpiFm2RdmaBinding
         binding_cls = binding_cls or MpiFm2Binding
         costs = costs or MPI2_DEFAULT_COSTS
     else:  # pragma: no cover - cluster already validates

@@ -1,0 +1,135 @@
+"""The one-sided RDMA pingpong workload (``kind="rdma"``).
+
+Node 0 and node 1 each register a landing region, then trade
+``iterations`` rounds of ``req_bytes``-sized RDMA puts: the initiator
+writes into the responder's region and sleeps on its own completion
+queue until the responder's answering put lands — a pure one-sided RTT,
+no FM handler or receive-region crossing anywhere on the data path.
+
+The report doubles as the CI transport smoke gate: it sums every NIC's
+``rdma_unmatched`` and ``corrupt_offload_packets`` into a
+``transport_errors`` section that must read zero on a healthy stack.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.rdma import RdmaEndpoint
+from repro.simkernel.monitor import Counters
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import Cluster
+    from repro.obs.metrics import Metrics
+    from repro.simkernel.env import Environment
+    from repro.workloads.runner import Scenario
+
+#: Responder registration must be visible before the first ping leaves;
+#: both sides register at t=0 (one per-message cost, ~2 us) so a 10 us
+#: settle delay is far more than enough and keeps the run deterministic.
+SETTLE_NS = 10_000
+
+
+class RdmaStats:
+    """Everything one pingpong run reports.
+
+    Quacks enough like :class:`~repro.workloads.stats.WorkloadStats` for
+    :func:`~repro.workloads.runner.execute_scenario`: ``federate``,
+    ``report``, ``fault_window_report``, and a ``counters`` bag.
+    """
+
+    def __init__(self, env: "Environment", name: str = "rdma"):
+        # Imported here, not at module level: repro.workloads's package
+        # init imports the scenario runner, which imports this module.
+        from repro.workloads.stats import Reservoir
+
+        self.env = env
+        self.name = name
+        self.counters = Counters()
+        #: One sample per round: put -> answering put landed (full RTT).
+        self.rtt = Reservoir(f"{name}.rtt_ns")
+        self.t_first: Optional[int] = None
+        self.t_last: Optional[int] = None
+        self.nics: list = []
+        self._metrics: Optional["Metrics"] = None
+
+    def federate(self, metrics: "Metrics") -> None:
+        metrics.register_counters(self.name, self.counters)
+        self._metrics = metrics
+
+    def note_round(self, rtt_ns: int, nbytes: int) -> None:
+        if self.t_first is None:
+            self.t_first = self.env.now - rtt_ns
+        self.t_last = self.env.now
+        self.counters.add("rounds")
+        self.counters.add("put_bytes", 2 * nbytes)  # one put each way
+        self.rtt.record(rtt_ns)
+        if self._metrics is not None:
+            self._metrics.histogram(f"{self.name}.rtt_ns").record(rtt_ns)
+
+    def transport_errors(self) -> dict:
+        unmatched = sum(nic.rdma_unmatched for nic in self.nics)
+        corrupt = sum(nic.corrupt_offload_packets for nic in self.nics)
+        return {
+            "rdma_unmatched": unmatched,
+            "corrupt_offload_packets": corrupt,
+            "total": unmatched + corrupt,
+        }
+
+    def report(self) -> dict:
+        elapsed = ((self.t_last - self.t_first)
+                   if self.t_first is not None else 0)
+        put_bytes = self.counters["put_bytes"]
+        return {
+            "rounds": self.counters["rounds"],
+            "put_bytes": put_bytes,
+            "rtt": self.rtt.summary(),
+            "elapsed_ns": elapsed,
+            "goodput_MBps": (round(put_bytes * 1e3 / elapsed, 2)
+                             if elapsed > 0 else 0.0),
+            "transport_errors": self.transport_errors(),
+            "nic": {
+                "rdma_write_packets": sum(nic.rdma_write_packets
+                                          for nic in self.nics),
+                "rdma_write_bytes": sum(nic.rdma_write_bytes
+                                        for nic in self.nics),
+            },
+        }
+
+    def fault_window_report(self, windows) -> Optional[dict]:
+        """Windowed availability scoring is RPC-shaped; the pingpong's
+        health signal is the transport-error gate instead."""
+        return None
+
+
+def run_rdma_pingpong(cluster: "Cluster", scenario: "Scenario",
+                      stats: RdmaStats) -> None:
+    """Run the pingpong between nodes 0 and 1 to completion."""
+    nbytes = scenario.req_bytes
+    iterations = scenario.iterations
+    endpoints = [RdmaEndpoint(node) for node in cluster.nodes]
+    stats.nics = [node.nic for node in cluster.nodes]
+
+    def initiator(node):
+        ep = endpoints[0]
+        landing = node.buffer(nbytes, name="rdma.pingpong.land0")
+        yield from ep.register(landing)              # rkey 1 on node 0
+        source = node.buffer(nbytes,
+                             fill=bytes(i % 251 for i in range(nbytes)))
+        yield node.env.timeout(SETTLE_NS)
+        for _ in range(iterations):
+            t0 = node.env.now
+            yield from ep.rdma_put(1, 1, source, nbytes)
+            yield from ep.wait_completion(lambda c: c.kind == "write")
+            stats.note_round(node.env.now - t0, nbytes)
+
+    def responder(node):
+        ep = endpoints[1]
+        landing = node.buffer(nbytes, name="rdma.pingpong.land1")
+        yield from ep.register(landing)              # rkey 1 on node 1
+        for _ in range(iterations):
+            yield from ep.wait_completion(lambda c: c.kind == "write")
+            yield from ep.rdma_put(0, 1, landing, nbytes)
+
+    programs = [initiator, responder] + [None] * (cluster.n_nodes - 2)
+    cluster.run(programs, until_ns=scenario.until_ns)

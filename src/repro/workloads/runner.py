@@ -74,7 +74,7 @@ from repro.workloads.sharding import (
 from repro.workloads.stats import WorkloadStats
 
 MACHINES = {"sparc": SPARC_FM1, "ppro": PPRO_FM2}
-KINDS = ("rpc", "halo", "allreduce", "pipeline")
+KINDS = ("rpc", "halo", "allreduce", "pipeline", "rdma")
 ARRIVALS = ("open", "open-fixed", "closed", "bursty")
 
 
@@ -371,6 +371,22 @@ class Scenario:
                 raise ValueError(
                     "pipeline telemetry is per-stage (queue depth + credit "
                     "stalls); time-series sampling and SLOs are rpc-only")
+        if self.kind == "rdma":
+            if self.fm_version != 2:
+                raise ValueError(
+                    "the one-sided transport extends the FM 2.x NIC "
+                    "firmware; fm_version must be 2")
+            if self.iterations < 1:
+                raise ValueError(
+                    f"iterations must be positive, got {self.iterations}")
+            if self.req_bytes < 1:
+                raise ValueError(
+                    f"req_bytes (per-put payload) must be positive, "
+                    f"got {self.req_bytes}")
+            if self.partitions or self.partition_groups:
+                raise ValueError(
+                    "the rdma pingpong is a two-node serial smoke "
+                    "workload; partitioning does not apply")
 
     def slo_specs(self) -> tuple[SloSpec, ...]:
         """The declarative SLOs this scenario evaluates: one aggregate
@@ -695,6 +711,10 @@ def execute_scenario(scenario: Scenario, plan=None,
 
         stats = PipelineStats(cluster.env,
                               name=f"pipeline.{scenario.name}")
+    elif scenario.kind == "rdma":
+        from repro.workloads.rdma import RdmaStats
+
+        stats = RdmaStats(cluster.env, name=f"rdma.{scenario.name}")
     else:
         n_shards = (scenario.servers
                     if scenario.kind == "rpc" and scenario.servers > 1
@@ -715,6 +735,10 @@ def execute_scenario(scenario: Scenario, plan=None,
         from repro.dataflow.engine import run_pipeline
 
         pipeline_run = run_pipeline(cluster, scenario, stats)
+    elif scenario.kind == "rdma":
+        from repro.workloads.rdma import run_rdma_pingpong
+
+        run_rdma_pingpong(cluster, scenario, stats)
     else:
         _run_mpi(cluster, scenario, stats)
     results = stats.report()
@@ -854,6 +878,12 @@ PRESETS = {
                                      slo_availability=0.99),
     "mpi-halo": Scenario(name="mpi-halo", kind="halo", iterations=30,
                          halo_bytes=256, compute_ns=5_000),
+    # One-sided transport smoke: 40 pingpong rounds of 4 KB RDMA puts
+    # between two nodes.  The report's ``transport_errors`` section is
+    # the CI gate — any unmatched-region or corrupt-offload drop on any
+    # NIC fails the build.
+    "rdma-pingpong": Scenario(name="rdma-pingpong", kind="rdma",
+                              n_nodes=2, iterations=40, req_bytes=4096),
     "mpi-allreduce": Scenario(name="mpi-allreduce", kind="allreduce",
                               iterations=20, grad_bytes=4096,
                               compute_ns=10_000),
@@ -914,6 +944,8 @@ PRESET_DESCRIPTIONS = {
     "rpc-sharded-blackout": "unreplicated control for the failover preset "
                             "(same stall, availability craters)",
     "mpi-halo": "MPI halo-exchange stencil over FM",
+    "rdma-pingpong": "one-sided RDMA put pingpong (CI transport smoke: "
+                     "zero-error gate)",
     "mpi-allreduce": "data-parallel allreduce training step over FM",
     "dataflow-rollup": "3 sources -> 4 hash lanes of windowed sum-rollup "
                        "-> sink, spread placement",

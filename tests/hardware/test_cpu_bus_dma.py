@@ -155,6 +155,44 @@ class TestDmaEngine:
         assert engine.transfers == 2
         assert engine.bytes == 2000
 
+    def test_accounting_counts_at_admission(self, env):
+        """Regression: ``transfers``/``bytes`` used to be bumped only at
+        completion, so a mid-flight snapshot undercounted admitted work
+        and ``in_flight`` was unobservable.  Admission and completion are
+        now separate counters."""
+        bus = IoBus(env, BUS)
+        engine = DmaEngine(env, bus)
+        snapshots = []
+        def worker():
+            yield from engine.transfer(1000)    # completes at 10.5 us
+        def snooper():
+            yield env.timeout(5_000)            # mid-flight
+            snapshots.append((engine.transfers, engine.completed,
+                              engine.in_flight, engine.bytes))
+        env.process(worker())
+        env.process(snooper())
+        env.run()
+        assert snapshots == [(1, 0, 1, 1000)]
+        assert (engine.transfers, engine.completed, engine.in_flight) \
+            == (1, 1, 0)
+
+    def test_queued_transfer_is_admitted_immediately(self, env):
+        """Both transfers count as admitted the moment they are posted,
+        even while the second is still queued behind the first."""
+        bus = IoBus(env, BUS)
+        engine = DmaEngine(env, bus)
+        def worker():
+            yield from engine.transfer(1000)
+        env.process(worker())
+        env.process(worker())
+        env.run(until=1)
+        assert engine.transfers == 2
+        assert engine.completed == 0
+        assert engine.in_flight == 2
+        env.run()
+        assert engine.completed == 2
+        assert engine.in_flight == 0
+
     def test_two_engines_share_bus(self, env):
         bus = IoBus(env, BUS)
         first, second = DmaEngine(env, bus, "a"), DmaEngine(env, bus, "b")
